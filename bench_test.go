@@ -1,0 +1,362 @@
+// Benchmarks regenerating the paper's tables and figures at reduced
+// scale, one (or more) per artifact. The full sweeps live in
+// cmd/slide-bench (-exp fig5 etc.); these testing.B entry points exercise
+// the same code paths with tight budgets so `go test -bench=.` doubles as
+// a regression harness for every experiment. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package slide_test
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/dense"
+	"repro/internal/harness"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/optim"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+)
+
+// benchDataset caches one small workload across benchmarks.
+var benchDS *dataset.Dataset
+
+func getBenchDS(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	if benchDS == nil {
+		ds, err := dataset.Generate(dataset.Delicious200K(0.01, 42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDS = ds
+	}
+	return benchDS
+}
+
+func benchSlideConfig(ds *dataset.Dataset) slide.Config {
+	return slide.Config{
+		InputDim: ds.InputDim,
+		Seed:     42,
+		Layers: []slide.LayerConfig{
+			{Size: 128, Activation: slide.ActReLU},
+			{
+				Size: ds.NumClasses, Activation: slide.ActSoftmax,
+				Sampled: true, Hash: slide.HashSimhash, K: 6, L: 20,
+				Strategy: slide.StrategyVanilla, Beta: ds.NumClasses / 20,
+			},
+		},
+	}
+}
+
+// BenchmarkTable1DatasetGen regenerates the Table 1 dataset statistics:
+// synthesizing one scaled Delicious-200K profile.
+func BenchmarkTable1DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := dataset.Generate(dataset.Delicious200K(0.005, uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Stats().TrainSize == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// benchStrategy measures Fig. 4's per-query retrieval cost for one
+// sampling strategy over prebuilt (K, L) tables.
+func benchStrategy(b *testing.B, kind sampling.Kind) {
+	const neurons, dim, k, l = 20544, 128, 6, 20
+	fam, err := lsh.New(lsh.KindSimhash, lsh.Params{Dim: dim, K: k, L: l, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := hashtable.New(hashtable.Config{K: k, L: l, CodeBits: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(7)
+	vec := make([]float32, dim)
+	codes := make([]uint32, fam.NumFuncs())
+	for id := 0; id < neurons; id++ {
+		for i := range vec {
+			vec[i] = r.NormFloat32()
+		}
+		fam.HashDense(vec, codes)
+		tbl.Insert(uint32(id), codes)
+	}
+	strat, err := sampling.New(sampling.Params{Kind: kind, Beta: neurons / 50, MinCount: 2, Seed: 3}, neurons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range vec {
+		vec[i] = r.NormFloat32()
+	}
+	fam.HashDense(vec, codes)
+	dst := make([]uint32, 0, neurons)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = strat.Sample(dst[:0], tbl, codes)
+	}
+	_ = dst
+}
+
+// BenchmarkFig4SamplingVanilla etc. regenerate Fig. 4 / Fig. 12: vanilla
+// is O(beta), hard thresholding slightly above, topk pays the sort.
+func BenchmarkFig4SamplingVanilla(b *testing.B)       { benchStrategy(b, sampling.KindVanilla) }
+func BenchmarkFig4SamplingTopK(b *testing.B)          { benchStrategy(b, sampling.KindTopK) }
+func BenchmarkFig4SamplingHardThreshold(b *testing.B) { benchStrategy(b, sampling.KindHardThreshold) }
+
+// BenchmarkFig5SlideIteration measures SLIDE's cost per training
+// iteration — the quantity behind the red curves of Fig. 5.
+func BenchmarkFig5SlideIteration(b *testing.B) {
+	ds := getBenchDS(b)
+	net, err := slide.New(benchSlideConfig(ds))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+		Iterations: int64(b.N), BatchSize: 128, Seed: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig5DenseIteration measures the dense baseline's cost per
+// iteration — the TF-CPU curves of Fig. 5 (and, re-timed by gpusim, the
+// TF-GPU curves).
+func BenchmarkFig5DenseIteration(b *testing.B) {
+	ds := getBenchDS(b)
+	net, err := dense.New(dense.Config{
+		InputDim: ds.InputDim, Hidden: []int{128}, Classes: ds.NumClasses, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := net.Train(ds.Train, ds.Test, dense.TrainConfig{
+		Iterations: int64(b.N), BatchSize: 128, Seed: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTable2Utilization runs the Table 2 measurement: a short
+// fixed-iteration training run whose busy-fraction accounting feeds the
+// utilization table.
+func BenchmarkTable2Utilization(b *testing.B) {
+	ds := getBenchDS(b)
+	for i := 0; i < b.N; i++ {
+		net, err := slide.New(benchSlideConfig(ds))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{Iterations: 20, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Utilization*100, "util%")
+	}
+}
+
+// BenchmarkFig7SampledSoftmax measures the sampled-softmax baseline's
+// per-iteration cost at a matched candidate budget (Fig. 7's green
+// curves).
+func BenchmarkFig7SampledSoftmax(b *testing.B) {
+	ds := getBenchDS(b)
+	cfg := benchSlideConfig(ds)
+	cfg.Layers[1].Strategy = slide.StrategyRandom
+	net, err := slide.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+		Iterations: int64(b.N), BatchSize: 128, Seed: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig8BatchSize sweeps the Fig. 8 batch sizes.
+func BenchmarkFig8BatchSize(b *testing.B) {
+	ds := getBenchDS(b)
+	for _, batch := range []int{64, 128, 256} {
+		b.Run(byteSizeName(batch), func(b *testing.B) {
+			net, err := slide.New(benchSlideConfig(ds))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+				Iterations: int64(b.N), BatchSize: batch, Seed: 3,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Scalability sweeps worker counts for a fixed iteration
+// budget (Fig. 9 / Fig. 13's x-axis).
+func BenchmarkFig9Scalability(b *testing.B) {
+	ds := getBenchDS(b)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(byteSizeName(threads), func(b *testing.B) {
+			net, err := slide.New(benchSlideConfig(ds))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+				Iterations: int64(b.N), Threads: threads, Seed: 3,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Optimized compares the optimized memory layout against
+// the plain per-neuron layout (Fig. 10 / Table 4's analog): same work,
+// different locality.
+func BenchmarkFig10Optimized(b *testing.B) {
+	ds := getBenchDS(b)
+	plainCfg := benchSlideConfig(ds)
+	plainCfg.Layout = slide.LayoutPerNeuron
+	optCfg := benchSlideConfig(ds)
+	optCfg.Layout = slide.LayoutContiguous
+	optCfg.PadRows = true
+	for _, variant := range []struct {
+		name   string
+		layout slide.Config
+	}{
+		{"plain", plainCfg},
+		{"optimized", optCfg},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			net, err := slide.New(variant.layout)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+				Iterations: int64(b.N), Seed: 3,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Theory evaluates the closed-form hard-thresholding
+// selection probabilities plotted in Fig. 11.
+func BenchmarkFig11Theory(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for m := 1; m <= 9; m += 2 {
+			for p := 0.05; p <= 0.95; p += 0.05 {
+				sink += sampling.SelectionProbability(p, 1, 10, m)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTable3Insertion measures full table construction (hash +
+// insert) for both bucket policies over a neuron population.
+func BenchmarkTable3Insertion(b *testing.B) {
+	const neurons, dim, k, l = 20544, 128, 6, 20
+	fam, err := lsh.New(lsh.KindSimhash, lsh.Params{Dim: dim, K: k, L: l, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(7)
+	weights := make([][]float32, neurons)
+	for j := range weights {
+		row := make([]float32, dim)
+		for i := range row {
+			row[i] = r.NormFloat32()
+		}
+		weights[j] = row
+	}
+	for _, policy := range []hashtable.Policy{hashtable.PolicyReservoir, hashtable.PolicyFIFO} {
+		b.Run(policy.String(), func(b *testing.B) {
+			codes := make([]uint32, fam.NumFuncs())
+			for i := 0; i < b.N; i++ {
+				tbl, err := hashtable.New(hashtable.Config{K: k, L: l, CodeBits: 1, Policy: policy, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for id := 0; id < neurons; id++ {
+					fam.HashDense(weights[id], codes)
+					tbl.Insert(uint32(id), codes)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Arena measures the hugepage-analog ablation through the
+// harness's Table 4 experiment end to end at tiny scale.
+func BenchmarkTable4Arena(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := runExperiment("table4")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatal("table4 produced no tables")
+		}
+	}
+}
+
+// BenchmarkAblUpdateModes compares the three gradient write disciplines
+// (§3.1 design-choice ablation).
+func BenchmarkAblUpdateModes(b *testing.B) {
+	ds := getBenchDS(b)
+	for _, mode := range []optim.UpdateMode{optim.ModeHogwild, optim.ModeAtomic, optim.ModeBatchSync} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := benchSlideConfig(ds)
+			cfg.UpdateMode = mode
+			net, err := slide.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+				Iterations: int64(b.N), Seed: 3,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6MemoryBound runs the Fig. 6 proxy pipeline (calibration +
+// short training) once per op at tiny scale.
+func BenchmarkFig6MemoryBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := runExperiment("fig6")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Series) == 0 {
+			b.Fatal("fig6 produced no series")
+		}
+	}
+}
+
+func runExperiment(id string) (*harness.Report, error) {
+	e, ok := harness.Get(id)
+	if !ok {
+		panic("unknown experiment " + id)
+	}
+	return e.Run(harness.Options{Scale: "tiny", Seed: 17, Log: io.Discard, ThreadSweep: []int{2, 4}})
+}
+
+func byteSizeName(n int) string { return strconv.Itoa(n) }

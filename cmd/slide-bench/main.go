@@ -1,0 +1,92 @@
+// Command slide-bench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	slide-bench -list
+//	slide-bench -exp fig5 -scale small
+//	slide-bench -exp all -scale medium -out results/
+//
+// Each experiment prints the paper-shaped rows/series as text; -out also
+// writes CSV files for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		scale   = flag.String("scale", "small", "workload scale: tiny|small|medium|paper")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		sweep   = flag.String("sweep", "", "comma-separated thread counts for scaling experiments")
+		out     = flag.String("out", "", "directory for CSV output (optional)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-13s %s\n", e.ID, e.Title)
+		}
+		if !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := harness.Options{
+		Scale:   *scale,
+		Seed:    *seed,
+		Threads: *threads,
+		OutDir:  *out,
+		Log:     os.Stderr,
+	}
+	if *quiet {
+		opts.Log = nil
+	}
+	if *sweep != "" {
+		for _, tok := range strings.Split(*sweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v <= 0 {
+				fatalf("bad -sweep value %q", tok)
+			}
+			opts.ThreadSweep = append(opts.ThreadSweep, v)
+		}
+	}
+
+	if *exp == "all" {
+		if err := harness.RunAll(opts, os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	e, ok := harness.Get(*exp)
+	if !ok {
+		fatalf("unknown experiment %q; use -list", *exp)
+	}
+	rep, err := e.Run(opts)
+	if err != nil {
+		fatalf("%s: %v", e.ID, err)
+	}
+	rep.WriteText(os.Stdout)
+	if *out != "" {
+		if err := rep.WriteCSV(*out); err != nil {
+			fatalf("writing CSV: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slide-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

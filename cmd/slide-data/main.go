@@ -1,0 +1,95 @@
+// Command slide-data generates synthetic extreme-classification datasets
+// in the XC repository format and reports their Table 1 statistics.
+//
+// Usage:
+//
+//	slide-data -profile delicious -scale 0.01                 # stats only
+//	slide-data -profile amazon -scale 0.01 -out data/amazon   # writes train/test files
+//	slide-data -inspect Train.txt                             # stats of an XC file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slide-data: ")
+	var (
+		profile = flag.String("profile", "delicious", "synthetic profile: delicious|amazon")
+		scale   = flag.Float64("scale", 0.01, "profile scale in (0,1]")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		out     = flag.String("out", "", "output directory for train.txt/test.txt (optional)")
+		inspect = flag.String("inspect", "", "inspect an existing XC-format file instead")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		ds, err := dataset.LoadXCFile(filepath.Base(*inspect), *inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(ds.Stats())
+		return
+	}
+
+	var p dataset.Profile
+	switch *profile {
+	case "delicious":
+		p = dataset.Delicious200K(*scale, *seed)
+	case "amazon":
+		p = dataset.Amazon670K(*scale, *seed)
+	default:
+		log.Fatalf("unknown -profile %q (want delicious|amazon)", *profile)
+	}
+	ds, err := dataset.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	printStats(ds.Stats())
+
+	if *out == "" {
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, part := range []struct {
+		name string
+		exs  []dataset.Example
+	}{{"train.txt", ds.Train}, {"test.txt", ds.Test}} {
+		path := filepath.Join(*out, part.name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dataset.WriteXC(f, part.exs, ds.InputDim, ds.NumClasses); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d examples)\n", path, len(part.exs))
+	}
+}
+
+func printStats(s dataset.Stats) {
+	fmt.Printf("name:             %s\n", s.Name)
+	fmt.Printf("feature dim:      %d\n", s.FeatureDim)
+	fmt.Printf("feature sparsity: %.4f%%\n", s.FeatureSparsity*100)
+	fmt.Printf("label dim:        %d\n", s.LabelDim)
+	fmt.Printf("train size:       %d\n", s.TrainSize)
+	fmt.Printf("test size:        %d\n", s.TestSize)
+	fmt.Printf("avg features:     %.1f\n", s.AvgFeatures)
+	fmt.Printf("avg labels:       %.1f\n", s.AvgLabels)
+}

@@ -1,0 +1,167 @@
+// Command slide-train trains a SLIDE network (or a baseline) on a
+// synthetic profile or an Extreme Classification Repository file.
+//
+// Usage:
+//
+//	slide-train -profile delicious -scale 0.01 -epochs 4
+//	slide-train -train Train.txt -test Test.txt -hash dwta -k 8 -l 50 -beta 3000
+//	slide-train -profile amazon -scale 0.01 -system dense
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/dense"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/metrics"
+	"repro/internal/optim"
+	"repro/internal/sampling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slide-train: ")
+	var (
+		profile   = flag.String("profile", "delicious", "synthetic profile: delicious|amazon (ignored when -train is set)")
+		scale     = flag.Float64("scale", 0.01, "synthetic profile scale in (0,1]")
+		trainPath = flag.String("train", "", "XC-format training file (optional)")
+		testPath  = flag.String("test", "", "XC-format test file (optional)")
+		system    = flag.String("system", "slide", "system to train: slide|dense")
+		hidden    = flag.Int("hidden", 128, "hidden layer width")
+		hash      = flag.String("hash", "simhash", "LSH family: simhash|wta|dwta|doph")
+		k         = flag.Int("k", 6, "hash codes per table (K)")
+		l         = flag.Int("l", 20, "hash tables (L)")
+		rangePow  = flag.Int("rangepow", 0, "log2 buckets per table (0 = auto)")
+		beta      = flag.Int("beta", 0, "target active neurons (0 = classes/20)")
+		strategy  = flag.String("strategy", "vanilla", "sampling: vanilla|topk|hard-threshold")
+		policy    = flag.String("policy", "reservoir", "bucket policy: reservoir|fifo")
+		update    = flag.String("update", "hogwild", "update mode: hogwild|atomic|batch-sync")
+		lr        = flag.Float64("lr", 0.001, "Adam learning rate")
+		batch     = flag.Int("batch", 128, "batch size")
+		epochs    = flag.Int("epochs", 3, "training epochs")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		evalEvery = flag.Int64("eval-every", 50, "evaluate every N iterations")
+		seed      = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	ds := loadData(*profile, *scale, *trainPath, *testPath, *seed)
+	st := ds.Stats()
+	fmt.Printf("dataset %s: %d features, %d classes, %d train / %d test (%.1f nnz, %.1f labels per example)\n",
+		st.Name, st.FeatureDim, st.LabelDim, st.TrainSize, st.TestSize, st.AvgFeatures, st.AvgLabels)
+
+	onEval := func(p metrics.Point) {
+		fmt.Printf("iter %6d  t=%8.2fs  loss=%.4f  P@1=%.4f\n", p.Iter, p.Seconds, p.Loss, p.Value)
+	}
+
+	switch *system {
+	case "dense":
+		net, err := dense.New(dense.Config{
+			InputDim: ds.InputDim, Hidden: []int{*hidden}, Classes: ds.NumClasses,
+			Seed: *seed, Adam: optim.NewAdam(float32(*lr)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Train(ds.Train, ds.Test, dense.TrainConfig{
+			BatchSize: *batch, Epochs: *epochs, Threads: *threads,
+			EvalEvery: *evalEvery, Seed: *seed, OnEval: onEval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("done: P@1=%.4f in %.1fs (%d iterations, utilization %.0f%%)\n",
+			res.FinalAcc, res.Seconds, res.Iterations, res.Utilization*100)
+	case "slide":
+		hk, err := lsh.ParseKind(*hash)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sk, err := sampling.ParseKind(*strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pk, err := hashtable.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		um, err := optim.ParseUpdateMode(*update)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := *beta
+		if b == 0 {
+			b = ds.NumClasses / 20
+		}
+		net, err := slide.New(slide.Config{
+			InputDim:   ds.InputDim,
+			Seed:       *seed,
+			Adam:       optim.NewAdam(float32(*lr)),
+			UpdateMode: um,
+			Layers: []slide.LayerConfig{
+				{Size: *hidden, Activation: slide.ActReLU},
+				{
+					Size: ds.NumClasses, Activation: slide.ActSoftmax,
+					Sampled: true, Hash: hk, K: *k, L: *l, RangePow: *rangePow,
+					Policy: pk, Strategy: sk, Beta: b, MinCount: 2,
+				},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+			BatchSize: *batch, Epochs: *epochs, Threads: *threads,
+			EvalEvery: *evalEvery, Seed: *seed, OnEval: onEval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("done: P@1=%.4f in %.1fs (%d iterations, %d rebuilds, %.0f mean active of %d, utilization %.0f%%)\n",
+			res.FinalAcc, res.Seconds, res.Iterations, res.Rebuilds,
+			res.MeanActive[1], ds.NumClasses, res.Utilization*100)
+	default:
+		log.Fatalf("unknown -system %q (want slide|dense)", *system)
+	}
+}
+
+func loadData(profile string, scale float64, trainPath, testPath string, seed uint64) *dataset.Dataset {
+	if trainPath != "" {
+		ds, err := dataset.LoadXCFile("xc-data", trainPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if testPath != "" {
+			tds, err := dataset.LoadXCFile("xc-test", testPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ds.Test = tds.Train
+		}
+		if err := ds.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		return ds
+	}
+	var p dataset.Profile
+	switch profile {
+	case "delicious":
+		p = dataset.Delicious200K(scale, seed)
+	case "amazon":
+		p = dataset.Amazon670K(scale, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -profile %q (want delicious|amazon)\n", profile)
+		os.Exit(1)
+	}
+	ds, err := dataset.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}

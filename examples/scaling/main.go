@@ -1,0 +1,65 @@
+// Scaling: the paper's §5.3 study in miniature — train the same SLIDE
+// workload at increasing worker counts and report wall time, speedup and
+// core utilization (Table 2's measurement). SLIDE's asynchronous design
+// keeps utilization roughly flat as cores grow.
+//
+// Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	ds, err := dataset.Generate(dataset.Delicious200K(0.02, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %d classes, fixed 120 iterations per run\n", ds.Name, ds.NumClasses)
+
+	maxThreads := runtime.GOMAXPROCS(0)
+	sweep := []int{1, 2, 4, 8, 16}
+	if sweep[len(sweep)-1] < maxThreads {
+		sweep = append(sweep, maxThreads)
+	}
+
+	fmt.Printf("%-8s %-12s %-10s %-12s\n", "cores", "seconds", "speedup", "utilization")
+	var base float64
+	for _, th := range sweep {
+		if th > maxThreads {
+			continue
+		}
+		net, err := slide.New(slide.Config{
+			InputDim: ds.InputDim,
+			Seed:     5,
+			Layers: []slide.LayerConfig{
+				{Size: 128, Activation: slide.ActReLU},
+				{
+					Size: ds.NumClasses, Activation: slide.ActSoftmax,
+					Sampled: true, Hash: slide.HashSimhash, K: 7, L: 30,
+					Strategy: slide.StrategyVanilla, Beta: ds.NumClasses / 30,
+				},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+			Iterations: 120, Threads: th, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Seconds
+		}
+		fmt.Printf("%-8d %-12.2f %-10.2f %.0f%%\n", th, res.Seconds, base/res.Seconds, res.Utilization*100)
+	}
+}

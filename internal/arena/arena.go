@@ -1,0 +1,130 @@
+// Package arena provides a slab allocator for float32 parameter state.
+//
+// It is the repository's analogue of the paper's Transparent Hugepages
+// optimization (§5.4, App. D, Table 4): instead of one small heap object
+// per neuron (many pages, many pointer targets, TLB/GC pressure), an Arena
+// packs a whole layer's weights and optimizer moments into a handful of
+// large contiguous slabs and hands out cache-line-aligned row views. The
+// Fig. 10 "optimized vs plain SLIDE" ablation flips between arena-backed
+// and per-neuron allocation.
+package arena
+
+import "fmt"
+
+// CacheLineBytes is the alignment granule; rows are padded so that no two
+// rows share a cache line, removing the false-sharing opportunity App. D
+// describes for concurrent HOGWILD writers.
+const CacheLineBytes = 64
+
+const floatsPerLine = CacheLineBytes / 4
+
+// Arena allocates float32 slices out of large slabs.
+type Arena struct {
+	slabSize int
+	slabs    [][]float32
+	cur      []float32
+	off      int
+}
+
+// New returns an arena whose slabs hold slabFloats float32 values each
+// (minimum 1<<16). Larger slabs mean fewer distinct heap objects; the
+// default in NewDefault is 1<<22 floats (16 MiB), a "huge page" scale slab.
+func New(slabFloats int) *Arena {
+	if slabFloats < 1<<16 {
+		slabFloats = 1 << 16
+	}
+	return &Arena{slabSize: slabFloats}
+}
+
+// NewDefault returns an arena with 16 MiB slabs.
+func NewDefault() *Arena { return New(1 << 22) }
+
+// Alloc returns a zeroed float32 slice of length n carved from the arena.
+// Allocations above the slab size get a dedicated slab.
+func (a *Arena) Alloc(n int) []float32 {
+	if n < 0 {
+		panic(fmt.Sprintf("arena: negative allocation %d", n))
+	}
+	if n == 0 {
+		return nil
+	}
+	if n >= a.slabSize {
+		s := make([]float32, n)
+		a.slabs = append(a.slabs, s)
+		return s
+	}
+	if a.cur == nil || a.off+n > len(a.cur) {
+		a.cur = make([]float32, a.slabSize)
+		a.slabs = append(a.slabs, a.cur)
+		a.off = 0
+	}
+	s := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// AllocAligned is Alloc with the start padded to a cache-line boundary.
+func (a *Arena) AllocAligned(n int) []float32 {
+	if rem := a.off % floatsPerLine; rem != 0 && a.cur != nil {
+		pad := floatsPerLine - rem
+		if a.off+pad <= len(a.cur) {
+			a.off += pad
+		}
+	}
+	return a.Alloc(n)
+}
+
+// AllocRows returns rows of rowLen float32s each, either densely packed
+// back to back (padded=false) or padded to cache-line multiples
+// (padded=true) so concurrent writers to adjacent rows never share a line.
+func (a *Arena) AllocRows(rows, rowLen int, padded bool) [][]float32 {
+	if rows < 0 || rowLen < 0 {
+		panic("arena: negative AllocRows shape")
+	}
+	stride := rowLen
+	if padded {
+		stride = (rowLen + floatsPerLine - 1) / floatsPerLine * floatsPerLine
+	}
+	out := make([][]float32, rows)
+	if rows == 0 {
+		return out
+	}
+	// Allocate in chunks so one giant layer still lands in few slabs
+	// without forcing a single slab of rows*stride floats.
+	rowsPerChunk := a.slabSize / max(stride, 1)
+	if rowsPerChunk < 1 {
+		rowsPerChunk = 1
+	}
+	for base := 0; base < rows; base += rowsPerChunk {
+		n := min(rowsPerChunk, rows-base)
+		chunk := a.AllocAligned(n * stride)
+		for r := 0; r < n; r++ {
+			out[base+r] = chunk[r*stride : r*stride+rowLen : r*stride+rowLen]
+		}
+	}
+	return out
+}
+
+// Slabs reports how many distinct heap blocks back the arena — the
+// Table 4 analogue of the hugepage mapping count.
+func (a *Arena) Slabs() int { return len(a.slabs) }
+
+// Floats reports the total float32 capacity currently owned by the arena.
+func (a *Arena) Floats() int {
+	var n int
+	for _, s := range a.slabs {
+		n += len(s)
+	}
+	return n
+}
+
+// AllocRowsPerNeuron is the "plain" counterpart used by the Fig. 10 /
+// Table 4 ablation: one independent heap allocation per row, the layout
+// the paper's unoptimized baseline suffers from.
+func AllocRowsPerNeuron(rows, rowLen int) [][]float32 {
+	out := make([][]float32, rows)
+	for i := range out {
+		out[i] = make([]float32, rowLen)
+	}
+	return out
+}

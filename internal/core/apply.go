@@ -1,0 +1,113 @@
+package core
+
+// colTrackThreshold is the fan-in above which a layer tracks which input
+// columns were touched during a batch. Below it (e.g. the 128-wide hidden
+// input of the output layer) scanning the full row is cheaper than
+// maintaining a column list.
+const colTrackThreshold = 512
+
+// beginBatch advances every layer's batch epoch, invalidating the touched
+// neuron/column stamps in O(1).
+func (n *Network) beginBatch() {
+	for _, l := range n.layers {
+		l.batchEpoch++
+		if l.batchEpoch == 0 { // stamp wrap: clear and restart
+			for i := range l.touched {
+				l.touched[i] = 0
+			}
+			for i := range l.colStamp {
+				l.colStamp[i] = 0
+			}
+			l.batchEpoch = 1
+		}
+	}
+}
+
+// applyAdamBatch performs the per-batch Adam step over exactly the
+// weights that accumulated gradient: touched neurons' rows restricted to
+// touched input columns (§3.1: "the fraction of weights that needs to be
+// updated is s² only"). Gradients are averaged over the batch (invB) and
+// the buffers are zeroed as they are consumed. Work is parallelized over
+// neurons; each row has a single writer.
+//
+// The number of non-zero gradient cells applied is accumulated into
+// n.touchedWeights: this is exactly the sparse-gradient payload a
+// distributed SLIDE replica would ship per batch (§6 future work —
+// "communication costs are minimal due to sparse gradients"), surfaced
+// as TrainResult.TouchedPerIter and by the dist-comm experiment.
+func (n *Network) applyAdamBatch(alpha, invB float32, workers int) {
+	for _, l := range n.layers {
+		n.touchedWeights += l.applyAdam(n, alpha, invB, workers)
+	}
+}
+
+func (l *Layer) applyAdam(n *Network, alpha, invB float32, workers int) int64 {
+	epoch := l.batchEpoch
+	cols := l.touchedColumns(workers)
+	adam := n.adam
+	counts := make([]int64, workers)
+	parallelIndexed(workers, l.out, func(wk, lo, hi int) {
+		var applied int64
+		for j := lo; j < hi; j++ {
+			if l.touched[j] != epoch {
+				continue
+			}
+			w, m, v, g := l.w[j], l.mW[j], l.vW[j], l.gW[j]
+			if cols == nil {
+				for i := range g {
+					if gi := g[i]; gi != 0 {
+						adam.Step1(&w[i], &m[i], &v[i], gi*invB, alpha)
+						g[i] = 0
+						applied++
+					}
+				}
+			} else {
+				for _, i := range cols {
+					if gi := g[i]; gi != 0 {
+						adam.Step1(&w[i], &m[i], &v[i], gi*invB, alpha)
+						g[i] = 0
+						applied++
+					}
+				}
+			}
+			if gb := l.gB[j]; gb != 0 {
+				adam.Step1(&l.b[j], &l.mB[j], &l.vB[j], gb*invB, alpha)
+				l.gB[j] = 0
+				applied++
+			}
+		}
+		counts[wk] = applied
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// touchedColumns rebuilds the per-batch touched-column list from the
+// column stamps, or returns nil when the layer iterates full rows.
+func (l *Layer) touchedColumns(workers int) []int32 {
+	if l.colStamp == nil {
+		return nil
+	}
+	epoch := l.batchEpoch
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([][]int32, workers)
+	parallelIndexed(workers, len(l.colStamp), func(w, lo, hi int) {
+		var local []int32
+		for i := lo; i < hi; i++ {
+			if l.colStamp[i] == epoch {
+				local = append(local, int32(i))
+			}
+		}
+		parts[w] = local
+	})
+	l.colList = l.colList[:0]
+	for _, p := range parts {
+		l.colList = append(l.colList, p...)
+	}
+	return l.colList
+}

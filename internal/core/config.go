@@ -1,0 +1,225 @@
+// Package core implements the SLIDE network (§3 of the paper): layers of
+// neurons with per-layer LSH hash tables, adaptive active-neuron sampling
+// in the forward pass, sparse message-passing backpropagation touching
+// only active neurons and weights, HOGWILD-style asynchronous gradient
+// updates across a batch, and exponential-decay hash-table rebuilds.
+//
+// The reference system is neuron-object-centric (Fig. 2): every neuron
+// owns batch-length activation/gradient/active arrays. This implementation
+// keeps the identical information keyed the other way — each batch element
+// (one goroutine's work item) owns its active-id list, activations and
+// gradients — which preserves the paper's thread independence argument
+// (state is private per element, weight updates are the only shared
+// writes) while being the cache-friendly layout in Go.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/optim"
+	"repro/internal/sampling"
+)
+
+// Activation selects a layer non-linearity.
+type Activation int
+
+const (
+	// ActReLU is max(0, x), the paper's hidden-layer activation.
+	ActReLU Activation = iota
+	// ActSoftmax normalizes over the active set only (§3.1): the softmax
+	// denominator sums active neurons, not the full layer.
+	ActSoftmax
+	// ActLinear is the identity.
+	ActLinear
+)
+
+// String returns the configuration name of the activation.
+func (a Activation) String() string {
+	switch a {
+	case ActReLU:
+		return "relu"
+	case ActSoftmax:
+		return "softmax"
+	case ActLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Layout selects parameter memory placement (the Fig. 10 / Table 4
+// optimization ablation).
+type Layout int
+
+const (
+	// LayoutContiguous packs each layer's weights and Adam moments into
+	// few large arena slabs (the hugepage-analog optimized layout).
+	LayoutContiguous Layout = iota
+	// LayoutPerNeuron allocates every neuron's rows separately (the
+	// plain, unoptimized layout).
+	LayoutPerNeuron
+)
+
+// String returns the configuration name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutContiguous:
+		return "contiguous"
+	case LayoutPerNeuron:
+		return "per-neuron"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// LayerConfig describes one fully connected layer.
+type LayerConfig struct {
+	// Size is the number of neurons.
+	Size int
+	// Activation is the non-linearity (§3.1).
+	Activation Activation
+
+	// Sampled enables LSH active-neuron sampling for this layer. When
+	// false the layer computes all neurons (hidden layers in the paper's
+	// architecture are dense; the wide softmax layer is sampled).
+	Sampled bool
+	// Hash selects the LSH family (§3.2). Used only when Sampled.
+	Hash lsh.Kind
+	// K and L are the meta-hash length and table count (§2).
+	K, L int
+	// RangePow, BucketSize and Policy configure the tables (§3.2, §4.2);
+	// zero values select hashtable defaults.
+	RangePow   int
+	BucketSize int
+	Policy     hashtable.Policy
+	// Strategy selects the retrieval strategy (§4.1) and Beta the target
+	// active count β_l; MinCount is hard thresholding's m.
+	Strategy sampling.Kind
+	Beta     int
+	MinCount int
+	// SimhashDensity, BinSize and TopK forward to lsh.Params; zero
+	// selects that package's defaults.
+	SimhashDensity float64
+	BinSize        int
+	TopK           int
+}
+
+// Config describes a SLIDE network.
+type Config struct {
+	// InputDim is the feature dimensionality.
+	InputDim int
+	// Layers lists the layers, input to output. The final layer of a
+	// classifier should use ActSoftmax.
+	Layers []LayerConfig
+	// Seed drives weight initialization, hash functions and sampling.
+	Seed uint64
+
+	// Adam holds optimizer hyperparameters; a zero LR selects
+	// optim.NewAdam(0.001).
+	Adam optim.Adam
+	// UpdateMode selects the gradient write discipline (§3.1); the
+	// default is the paper's HOGWILD asynchronous updates.
+	UpdateMode optim.UpdateMode
+
+	// RebuildN0 is the initial hash-table rebuild period in iterations
+	// and RebuildLambda the exponential decay constant (§4.2): the t-th
+	// rebuild happens after a gap of N0*exp(Lambda*(t-1)) iterations.
+	// Zero values select N0=50 (the paper's setting) and Lambda=0.1.
+	RebuildN0     int
+	RebuildLambda float64
+
+	// Layout and PadRows select the memory optimizations (Fig. 10):
+	// contiguous arena slabs and cache-line row padding.
+	Layout  Layout
+	PadRows bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Adam.LR == 0 {
+		c.Adam = optim.NewAdam(0.001)
+	}
+	if c.RebuildN0 == 0 {
+		c.RebuildN0 = 50
+	}
+	if c.RebuildLambda == 0 {
+		c.RebuildLambda = 0.1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.InputDim <= 0 {
+		return fmt.Errorf("core: InputDim must be positive, got %d", c.InputDim)
+	}
+	if len(c.Layers) == 0 {
+		return fmt.Errorf("core: at least one layer required")
+	}
+	for i, lc := range c.Layers {
+		if lc.Size <= 0 {
+			return fmt.Errorf("core: layer %d size must be positive, got %d", i, lc.Size)
+		}
+		if lc.Sampled {
+			if lc.K <= 0 || lc.L <= 0 {
+				return fmt.Errorf("core: sampled layer %d needs positive K and L, got K=%d L=%d", i, lc.K, lc.L)
+			}
+			if lc.Beta <= 0 && lc.Strategy != sampling.KindHardThreshold {
+				return fmt.Errorf("core: sampled layer %d needs positive Beta for strategy %v", i, lc.Strategy)
+			}
+		}
+	}
+	return nil
+}
+
+// TrainConfig controls a training run.
+type TrainConfig struct {
+	// BatchSize is the minibatch size (each element runs on its own
+	// goroutine slot, §3.1). Zero selects 128.
+	BatchSize int
+	// Iterations is the number of batches to run. Zero derives it from
+	// Epochs (full passes over the training split).
+	Iterations int64
+	// Epochs is used when Iterations is zero; zero selects 1.
+	Epochs int
+	// Threads is the worker count; zero selects GOMAXPROCS.
+	Threads int
+
+	// EvalEvery evaluates P@1 on a held-out subset every this many
+	// iterations (0 disables periodic evaluation; a final evaluation
+	// always runs). Evaluation time is excluded from the recorded
+	// training clock.
+	EvalEvery int64
+	// EvalSamples bounds the evaluation subset size; zero selects
+	// min(1024, len(test)).
+	EvalSamples int
+	// TargetAcc stops training early once eval P@1 reaches it (0 =
+	// never).
+	TargetAcc float64
+	// MaxSeconds bounds training wall-clock time (0 = unbounded).
+	MaxSeconds float64
+	// Seed shuffles the training order.
+	Seed uint64
+	// OnEval, when set, observes each evaluation point as it is
+	// recorded.
+	OnEval func(Point)
+}
+
+func (tc TrainConfig) withDefaults(trainSize int) TrainConfig {
+	if tc.BatchSize == 0 {
+		tc.BatchSize = 128
+	}
+	if tc.Threads == 0 {
+		tc.Threads = runtime.GOMAXPROCS(0)
+	}
+	if tc.Iterations == 0 {
+		epochs := tc.Epochs
+		if epochs == 0 {
+			epochs = 1
+		}
+		perEpoch := (trainSize + tc.BatchSize - 1) / tc.BatchSize
+		tc.Iterations = int64(epochs) * int64(perEpoch)
+	}
+	return tc
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// TestDegenerateExamples: training must tolerate empty feature vectors,
+// empty label sets and single-feature inputs without NaNs or panics
+// (real XC data contains all three).
+func TestDegenerateExamples(t *testing.T) {
+	classes := 64
+	train := []dataset.Example{
+		{Features: sparse.Vector{Dim: 512}, Labels: []int32{3}},                // no features
+		{Features: sparse.MustNew(512, []int32{5}, []float32{1}), Labels: nil}, // no labels
+		{Features: sparse.MustNew(512, []int32{7}, []float32{1}), Labels: []int32{1, 2, 3}},
+		{Features: sparse.MustNew(512, []int32{0, 511}, []float32{0.5, 0.5}), Labels: []int32{63}},
+	}
+	// Pad with clones so a batch fills.
+	for len(train) < 64 {
+		train = append(train, train[len(train)%4])
+	}
+	n, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(train, train[:8], TrainConfig{BatchSize: 16, Iterations: 20, Seed: 1, EvalEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Weights must stay finite.
+	for li := range n.layers {
+		l := n.layers[li]
+		for j := 0; j < l.out; j++ {
+			for _, w := range l.w[j] {
+				if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+					t.Fatalf("layer %d produced non-finite weight", li)
+				}
+			}
+		}
+	}
+}
+
+// TestExtremeValues: very large feature values must not break the
+// softmax (LSE stabilization) or the LSH hashing.
+func TestExtremeValues(t *testing.T) {
+	classes := 64
+	n, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := newElemState(n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sparse.MustNew(512, []int32{1, 2, 3}, []float32{1e6, -1e6, 1e6})
+	n.forwardElem(st, x, []int32{5}, modeTrain)
+	out := &st.layers[1]
+	var sum float64
+	for _, p := range out.vals {
+		if math.IsNaN(float64(p)) {
+			t.Fatal("softmax produced NaN on extreme input")
+		}
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+}
+
+// TestBatchLargerThanTrain: the trainer reshuffles and wraps when the
+// batch exceeds the epoch remainder.
+func TestBatchLargerThanTrain(t *testing.T) {
+	classes := 64
+	ds := tinyDataset(t, classes)
+	n, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := ds.Train[:40] // batch 64 > 40 examples
+	res, err := n.Train(small, ds.Test, TrainConfig{BatchSize: 64, Iterations: 10, Seed: 1, EvalEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("ran %d iterations", res.Iterations)
+	}
+}
+
+// TestSingleClassDataset: degenerate one-class problems must train and
+// reach P@1 = 1.
+func TestSingleClassDataset(t *testing.T) {
+	train := make([]dataset.Example, 64)
+	for i := range train {
+		train[i] = dataset.Example{
+			Features: sparse.MustNew(512, []int32{int32(i % 50)}, []float32{1}),
+			Labels:   []int32{0},
+		}
+	}
+	cfg := tinyConfig(1)
+	cfg.Layers[1].Beta = 1
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(train, train, TrainConfig{BatchSize: 16, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc != 1 {
+		t.Fatalf("single-class P@1 = %v", res.FinalAcc)
+	}
+}
+
+// TestMaxSecondsBudget: the wall-clock budget stops a long run.
+func TestMaxSecondsBudget(t *testing.T) {
+	classes := 256
+	ds := tinyDataset(t, classes)
+	n, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(ds.Train, ds.Test, TrainConfig{
+		Iterations: 1 << 30, MaxSeconds: 0.2, Seed: 1, EvalEvery: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds > 2 {
+		t.Fatalf("MaxSeconds ignored: ran %.1fs", res.Seconds)
+	}
+}

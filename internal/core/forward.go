@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// forwardMode selects how active sets are chosen during a pass.
+type forwardMode int
+
+const (
+	// modeTrain samples active neurons and force-includes the true
+	// labels at the output layer (§3.1: labels must be active so the
+	// softmax sees its positives).
+	modeTrain forwardMode = iota
+	// modeEvalSampled samples active neurons without label forcing —
+	// SLIDE's sub-linear inference path.
+	modeEvalSampled
+	// modeEvalFull activates every neuron (exact forward, used for
+	// measuring accuracy).
+	modeEvalFull
+)
+
+// forwardElem runs one batch element through the network (Algorithm 1
+// lines 8-13): at each sampled layer the layer input is hashed, active
+// neuron ids are retrieved from the tables (Algorithm 2), and only their
+// activations are computed; all other activations are treated as zero.
+func (n *Network) forwardElem(st *elemState, x sparse.Vector, labels []int32, mode forwardMode) {
+	st.nextEpoch()
+	inIds := x.Idx
+	inVals := x.Val
+	inFull := false
+	last := len(n.layers) - 1
+	for li, l := range n.layers {
+		ls := &st.layers[li]
+		useAll := !l.Sampled() || mode == modeEvalFull
+		if useAll {
+			ls.reset(true, l.out)
+			ls.vals = ls.vals[:l.out]
+		} else {
+			n.selectActive(st, li, inIds, inVals, inFull, labels, mode == modeTrain && li == last)
+			ls.vals = ls.vals[:len(ls.ids)]
+			st.activeSum[li] += int64(len(ls.ids))
+			st.activeCount[li]++
+		}
+		computeActivations(l, ls, inIds, inVals, inFull)
+		inIds = ls.ids
+		inVals = ls.vals
+		inFull = ls.full
+	}
+}
+
+// selectActive fills st.layers[li].ids by hashing the layer input and
+// querying the tables with the layer's strategy, force-including labels
+// when asked, and falling back to a random draw if retrieval comes back
+// empty (possible right after initialization when buckets are sparse).
+func (n *Network) selectActive(st *elemState, li int, inIds []int32, inVals []float32, inFull bool, labels []int32, forceLabels bool) {
+	l := n.layers[li]
+	ls := &st.layers[li]
+	codes := st.codes[li]
+	if inFull {
+		l.fam.HashDense(inVals, codes)
+	} else {
+		// Hash families are order-insensitive over (index, value) pairs,
+		// so the unsorted active-id list can be viewed as a sparse vector
+		// directly.
+		l.fam.HashSparse(sparse.Vector{Dim: l.in, Idx: inIds, Val: inVals}, codes)
+	}
+	st.sampleBuf = st.strategies[li].Sample(st.sampleBuf[:0], l.tables, codes)
+	ls.reset(false, len(st.sampleBuf)+len(labels))
+	for _, id := range st.sampleBuf {
+		if !st.markSeen(li, int32(id)) {
+			ls.ids = append(ls.ids, int32(id))
+		}
+	}
+	if forceLabels {
+		for _, lab := range labels {
+			if !st.markSeen(li, lab) {
+				ls.ids = append(ls.ids, lab)
+			}
+		}
+	}
+	if len(ls.ids) == 0 {
+		want := l.cfg.Beta
+		if want <= 0 {
+			want = 32
+		}
+		if want > l.out {
+			want = l.out
+		}
+		for len(ls.ids) < want {
+			id := int32(st.rng.Intn(l.out))
+			if !st.markSeen(li, id) {
+				ls.ids = append(ls.ids, id)
+			}
+		}
+	}
+}
+
+// computeActivations computes pre-activations for the active set and
+// applies the layer non-linearity. Softmax normalizes over the active set
+// only (§3.1).
+func computeActivations(l *Layer, ls *layerState, inIds []int32, inVals []float32, inFull bool) {
+	if ls.full {
+		for j := 0; j < l.out; j++ {
+			ls.vals[j] = preact(l, int32(j), inIds, inVals, inFull)
+		}
+	} else {
+		for a, j := range ls.ids {
+			ls.vals[a] = preact(l, j, inIds, inVals, inFull)
+		}
+	}
+	switch l.cfg.Activation {
+	case ActReLU:
+		vecmath.ReLU(ls.vals)
+	case ActSoftmax:
+		vecmath.Softmax(ls.vals)
+	case ActLinear:
+	}
+}
+
+func preact(l *Layer, j int32, inIds []int32, inVals []float32, inFull bool) float32 {
+	if inFull {
+		return l.b[j] + vecmath.Dot(l.w[j], inVals)
+	}
+	return l.b[j] + vecmath.SparseDot(inIds, inVals, l.w[j])
+}
+
+// outputDeltaAndLoss fills the output layer's delta with the softmax
+// cross-entropy gradient p - y (y uniform over the true labels, the
+// multi-label convention of the reference implementation) and returns the
+// cross-entropy loss over the active set. labels must be sorted ascending.
+func outputDeltaAndLoss(ls *layerState, labels []int32) float64 {
+	ls.delta = ls.delta[:len(ls.vals)]
+	if len(labels) == 0 {
+		copy(ls.delta, ls.vals)
+		return 0
+	}
+	invLab := 1 / float32(len(labels))
+	var loss float64
+	pos := func(a int) int32 {
+		if ls.full {
+			return int32(a)
+		}
+		return ls.ids[a]
+	}
+	for a := range ls.vals {
+		p := ls.vals[a]
+		if containsSortedLabel(labels, pos(a)) {
+			ls.delta[a] = p - invLab
+			loss -= float64(invLab) * math.Log(float64(maxf(p, 1e-30)))
+		} else {
+			ls.delta[a] = p
+		}
+	}
+	return loss
+}
+
+func containsSortedLabel(labels []int32, c int32) bool {
+	lo, hi := 0, len(labels)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case labels[mid] < c:
+			lo = mid + 1
+		case labels[mid] > c:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lsh"
+)
+
+// Incremental Simhash re-hashing (§4.2, design trick 3): hsign(w) =
+// sign(proj·w), and backpropagation only changes the weights connecting
+// active neurons, so the projection values can be maintained with O(d')
+// additions per rebuild instead of a full O(d) re-projection per
+// function.
+//
+// The memo stores NumFuncs float32 projections per neuron plus a snapshot
+// of each neuron's weight row at the last re-hash; on rebuild, only rows
+// whose weights changed are diffed sparsely and their projections
+// updated. This trades memory (one extra weight copy plus K*L floats per
+// neuron) for hashing time — exactly the trade the paper describes — so
+// it is opt-in via EnableIncrementalRehash.
+
+// rehashMemo holds the incremental state for one layer.
+type rehashMemo struct {
+	sh *lsh.IncrementalSimhash
+	// proj[j*nf : (j+1)*nf] are neuron j's memoized projections.
+	proj []float32
+	// snapshot[j] is neuron j's weight row at the last re-hash.
+	snapshot [][]float32
+	// deltaIdx/deltaVal are reusable sparse-diff scratch.
+	deltaIdx []int32
+	deltaVal []float32
+}
+
+// EnableIncrementalRehash switches layer li to incremental Simhash
+// re-hashing. The layer must be sampled with lsh.KindSimhash. Subsequent
+// rebuilds compute codes from memoized projections updated by sparse
+// weight diffs.
+func (n *Network) EnableIncrementalRehash(li int) error {
+	l := n.layers[li]
+	if l.tables == nil {
+		return errNotSampled(li)
+	}
+	sh, ok := l.fam.(*lsh.IncrementalSimhash)
+	if !ok {
+		return errNotSimhash(li)
+	}
+	nf := l.fam.NumFuncs()
+	memo := &rehashMemo{
+		sh:       sh,
+		proj:     make([]float32, l.out*nf),
+		snapshot: make([][]float32, l.out),
+	}
+	for j := 0; j < l.out; j++ {
+		memo.snapshot[j] = append([]float32(nil), l.w[j]...)
+		sh.ProjectAll(l.w[j], memo.proj[j*nf:(j+1)*nf])
+	}
+	l.memo = memo
+	return nil
+}
+
+// rebuildIncremental refreshes projections for changed rows and reinserts
+// all neurons from the memoized codes.
+func (l *Layer) rebuildIncremental(workers int) {
+	memo := l.memo
+	nf := l.fam.NumFuncs()
+	l.tables.Clear()
+
+	// Phase 1: sparse-diff each row against its snapshot and update the
+	// memoized projections; parallel over neurons (private rows).
+	parallelIndexed(workers, l.out, func(w, lo, hi int) {
+		var dIdx []int32
+		var dVal []float32
+		for j := lo; j < hi; j++ {
+			row, snap := l.w[j], memo.snapshot[j]
+			dIdx = dIdx[:0]
+			dVal = dVal[:0]
+			for i := range row {
+				if row[i] != snap[i] {
+					dIdx = append(dIdx, int32(i))
+					dVal = append(dVal, row[i]-snap[i])
+					snap[i] = row[i]
+				}
+			}
+			if len(dIdx) > 0 {
+				memo.sh.ProjectDelta(memo.proj[j*nf:(j+1)*nf], dIdx, dVal)
+			}
+		}
+	})
+
+	// Phase 2: derive codes from projections and insert, parallel over
+	// tables (as in the standard rebuild).
+	for base := 0; base < l.out; base += rebuildChunk {
+		nRows := minInt(rebuildChunk, l.out-base)
+		codes := make([]uint32, nRows*nf)
+		parallelRange(workers, nRows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				j := base + r
+				memo.sh.CodesFromProjections(memo.proj[j*nf:(j+1)*nf], codes[r*nf:(r+1)*nf])
+			}
+		})
+		lt := l.tables
+		parallelRange(minInt(workers, lt.L()), lt.L(), func(lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				for r := 0; r < nRows; r++ {
+					lt.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
+				}
+			}
+		})
+	}
+}
+
+func errNotSampled(li int) error {
+	return fmt.Errorf("core: layer %d is not LSH-sampled", li)
+}
+
+func errNotSimhash(li int) error {
+	return fmt.Errorf("core: incremental re-hash requires Simhash on layer %d", li)
+}

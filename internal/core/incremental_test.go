@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/sampling"
+)
+
+// TestIncrementalRehashMatchesFull: after training updates the weights,
+// an incremental rebuild (memoized projections + sparse diffs, §4.2
+// trick 3) must place every neuron in exactly the buckets a full re-hash
+// would.
+func TestIncrementalRehashMatchesFull(t *testing.T) {
+	classes := 256
+	ds := tinyDataset(t, classes)
+
+	mk := func() *Network {
+		n, err := NewNetwork(tinyConfig(classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	full := mk()
+	incr := mk()
+	if err := incr.EnableIncrementalRehash(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Train both identically (single thread, deterministic gradients are
+	// not required — only that both see the same weight trajectory; with
+	// the same seed and 1 thread the vanilla strategy streams match).
+	tc := TrainConfig{BatchSize: 32, Iterations: 30, Threads: 1, Seed: 5, EvalEvery: 0}
+	if _, err := full.Train(ds.Train, ds.Test, tc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incr.Train(ds.Train, ds.Test, tc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force both to rebuild now and compare every neuron's codes by
+	// recomputing from weights on the incremental network.
+	full.RebuildTables(1)
+	incr.RebuildTables(1)
+
+	fl, il := full.layers[1], incr.layers[1]
+	nf := fl.fam.NumFuncs()
+	fc := make([]uint32, nf)
+	ic := make([]uint32, nf)
+	for j := 0; j < fl.out; j++ {
+		fl.fam.HashDense(fl.w[j], fc)
+		sh := il.fam.(*lsh.IncrementalSimhash)
+		sh.CodesFromProjections(il.memo.proj[j*nf:(j+1)*nf], ic)
+		// The memoized projections must give the same codes as hashing
+		// the live weights directly.
+		il.fam.HashDense(il.w[j], fc)
+		for f := range ic {
+			if ic[f] != fc[f] {
+				t.Fatalf("neuron %d func %d: incremental code %d != direct %d", j, f, ic[f], fc[f])
+			}
+		}
+	}
+}
+
+// TestIncrementalRehashTrains: end-to-end training with incremental
+// rebuilds must learn as well as the standard path.
+func TestIncrementalRehashTrains(t *testing.T) {
+	classes := 256
+	ds := tinyDataset(t, classes)
+	n, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EnableIncrementalRehash(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(ds.Train, ds.Test, TrainConfig{Epochs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.25 {
+		t.Fatalf("incremental-rehash training P@1 = %.3f", res.FinalAcc)
+	}
+	if n.Rebuilds() == 0 {
+		t.Fatal("no rebuilds happened")
+	}
+}
+
+// TestEnableIncrementalRehashValidation covers misuse.
+func TestEnableIncrementalRehashValidation(t *testing.T) {
+	cfg := tinyConfig(64)
+	cfg.Layers[1].Hash = lsh.KindDWTA
+	cfg.Layers[1].Strategy = sampling.KindVanilla
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EnableIncrementalRehash(1); err == nil {
+		t.Fatal("DWTA layer accepted for incremental Simhash re-hash")
+	}
+	if err := n.EnableIncrementalRehash(0); err == nil {
+		t.Fatal("dense layer accepted")
+	}
+}

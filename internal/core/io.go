@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Model serialization: a small custom binary format (the module builds
+// offline, stdlib only). Layout:
+//
+//	magic "SLIDEv1\n"
+//	uint32 inputDim, uint32 numLayers
+//	per layer: uint32 in, out, activation
+//	           float32 weights row-major, float32 biases
+//
+// Optimizer moments and hash tables are not persisted: tables are
+// reconstructed from the loaded weights (they are a pure function of
+// them), and moments restart, matching the reference implementation's
+// checkpointing.
+
+var modelMagic = [8]byte{'S', 'L', 'I', 'D', 'E', 'v', '1', '\n'}
+
+// Save writes the network's weights to w.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(n.cfg.InputDim), uint32(len(n.layers))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, l := range n.layers {
+		meta := []uint32{uint32(l.in), uint32(l.out), uint32(l.cfg.Activation)}
+		if err := binary.Write(bw, binary.LittleEndian, meta); err != nil {
+			return err
+		}
+		for j := 0; j < l.out; j++ {
+			if err := binary.Write(bw, binary.LittleEndian, l.w[j]); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, l.b[:l.out]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores weights saved by Save into an identically shaped network
+// and rebuilds the hash tables from them.
+func (n *Network) Load(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("core: reading model magic: %w", err)
+	}
+	if magic != modelMagic {
+		return fmt.Errorf("core: bad model magic %q", magic[:])
+	}
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return err
+	}
+	if int(hdr[0]) != n.cfg.InputDim || int(hdr[1]) != len(n.layers) {
+		return fmt.Errorf("core: model shape %dx%d layers does not match network %dx%d",
+			hdr[0], hdr[1], n.cfg.InputDim, len(n.layers))
+	}
+	for li, l := range n.layers {
+		var meta [3]uint32
+		if err := binary.Read(br, binary.LittleEndian, &meta); err != nil {
+			return err
+		}
+		if int(meta[0]) != l.in || int(meta[1]) != l.out || Activation(meta[2]) != l.cfg.Activation {
+			return fmt.Errorf("core: layer %d shape mismatch", li)
+		}
+		for j := 0; j < l.out; j++ {
+			if err := binary.Read(br, binary.LittleEndian, l.w[j]); err != nil {
+				return err
+			}
+		}
+		if err := binary.Read(br, binary.LittleEndian, l.b[:l.out]); err != nil {
+			return err
+		}
+	}
+	n.RebuildTables(0)
+	return nil
+}

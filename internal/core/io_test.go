@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	classes := 128
+	ds := tinyDataset(t, classes)
+	n, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(ds.Train, ds.Test, TrainConfig{Epochs: 2, Seed: 2, EvalEvery: 0}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := n.Evaluate(ds.Test, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewNetwork(tinyConfig(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Evaluate(ds.Test, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.P1 != after.P1 {
+		t.Fatalf("P@1 changed across save/load: %v vs %v", before.P1, after.P1)
+	}
+	// Weights must match exactly.
+	for li := range n.layers {
+		for j := 0; j < n.layers[li].out; j++ {
+			for i := range n.layers[li].w[j] {
+				if n.layers[li].w[j][i] != m.layers[li].w[j][i] {
+					t.Fatalf("layer %d w[%d][%d] differs after load", li, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	n, err := NewNetwork(tinyConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Mismatched shape: save a 64-class model, load into 128.
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewNetwork(tinyConfig(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/arena"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/rng"
+)
+
+// Layer is one fully connected layer: neuron-major weight rows, biases,
+// Adam moments, and — when sampled — the LSH family plus (K, L) hash
+// tables holding neuron ids keyed by their weight vectors (§3.1, Fig. 2).
+type Layer struct {
+	idx int // position in the network, for diagnostics
+	in  int // fan-in (previous layer size or InputDim)
+	out int // neuron count
+	cfg LayerConfig
+
+	// w[j] is neuron j's weight row (length in); mW/vW are the aligned
+	// Adam moments and gW the shared batch-gradient buffer that worker
+	// threads accumulate into (§3.1 HOGWILD accumulation). Depending on
+	// Config.Layout the rows live in shared arena slabs or in one
+	// allocation per neuron.
+	w  [][]float32
+	mW [][]float32
+	vW [][]float32
+	gW [][]float32
+	// b, mB, vB, gB are biases, their moments and gradient.
+	b  []float32
+	mB []float32
+	vB []float32
+	gB []float32
+
+	// touched[j] == batchEpoch marks neuron j as having accumulated
+	// gradient this batch; colStamp (nil for small fan-in layers) marks
+	// touched input columns the same way. Both receive racy same-value
+	// stores from worker threads, which is benign.
+	touched    []uint32
+	colStamp   []uint32
+	colList    []int32 // scratch for the per-batch touched-column list
+	batchEpoch uint32
+
+	// fam and tables implement the adaptive sampling; nil for dense
+	// layers. memo, when non-nil, holds incremental Simhash re-hash
+	// state (§4.2 trick 3; see incremental.go).
+	fam    lsh.Family
+	tables *hashtable.Table
+	memo   *rehashMemo
+}
+
+// newLayer builds an initialized layer. Weight initialization is He-style
+// for ReLU layers and Xavier-style otherwise, from the network seed.
+func newLayer(idx, in int, cfg LayerConfig, netCfg Config, ar *arena.Arena, seed uint64) (*Layer, error) {
+	l := &Layer{idx: idx, in: in, out: cfg.Size, cfg: cfg}
+	switch netCfg.Layout {
+	case LayoutContiguous:
+		l.w = ar.AllocRows(cfg.Size, in, netCfg.PadRows)
+		l.mW = ar.AllocRows(cfg.Size, in, netCfg.PadRows)
+		l.vW = ar.AllocRows(cfg.Size, in, netCfg.PadRows)
+		l.gW = ar.AllocRows(cfg.Size, in, netCfg.PadRows)
+		l.b = ar.AllocAligned(cfg.Size)
+		l.mB = ar.AllocAligned(cfg.Size)
+		l.vB = ar.AllocAligned(cfg.Size)
+		l.gB = ar.AllocAligned(cfg.Size)
+	case LayoutPerNeuron:
+		l.w = arena.AllocRowsPerNeuron(cfg.Size, in)
+		l.mW = arena.AllocRowsPerNeuron(cfg.Size, in)
+		l.vW = arena.AllocRowsPerNeuron(cfg.Size, in)
+		l.gW = arena.AllocRowsPerNeuron(cfg.Size, in)
+		l.b = make([]float32, cfg.Size)
+		l.mB = make([]float32, cfg.Size)
+		l.vB = make([]float32, cfg.Size)
+		l.gB = make([]float32, cfg.Size)
+	default:
+		return nil, fmt.Errorf("core: unknown layout %v", netCfg.Layout)
+	}
+	l.touched = make([]uint32, cfg.Size)
+	if in > colTrackThreshold {
+		l.colStamp = make([]uint32, in)
+	}
+
+	std := float32(math.Sqrt(2.0 / float64(in))) // He init for ReLU
+	if cfg.Activation != ActReLU {
+		std = float32(math.Sqrt(1.0 / float64(in)))
+	}
+	r := rng.NewStream(seed, uint64(idx)+0x1a7e4)
+	for j := 0; j < cfg.Size; j++ {
+		row := l.w[j]
+		for i := range row {
+			row[i] = std * r.NormFloat32()
+		}
+	}
+
+	if cfg.Sampled {
+		fam, err := lsh.New(cfg.Hash, lsh.Params{
+			Dim:            in,
+			K:              cfg.K,
+			L:              cfg.L,
+			Seed:           seed ^ uint64(idx)*0x9e3779b97f4a7c15,
+			SimhashDensity: cfg.SimhashDensity,
+			BinSize:        cfg.BinSize,
+			TopK:           cfg.TopK,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", idx, err)
+		}
+		l.fam = fam
+		l.tables, err = hashtable.New(hashtable.Config{
+			K:          cfg.K,
+			L:          cfg.L,
+			CodeBits:   fam.CodeBits(),
+			RangePow:   cfg.RangePow,
+			BucketSize: cfg.BucketSize,
+			Policy:     cfg.Policy,
+			Seed:       seed ^ (uint64(idx)+1)*0x517cc1b727220a95,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", idx, err)
+		}
+	}
+	return l, nil
+}
+
+// In returns the layer fan-in.
+func (l *Layer) In() int { return l.in }
+
+// Out returns the neuron count.
+func (l *Layer) Out() int { return l.out }
+
+// Sampled reports whether the layer uses LSH sampling.
+func (l *Layer) Sampled() bool { return l.tables != nil }
+
+// Tables exposes the layer's hash tables (nil for dense layers), for
+// diagnostics and experiments.
+func (l *Layer) Tables() *hashtable.Table { return l.tables }
+
+// Weights returns neuron j's weight row. The row aliases live training
+// state.
+func (l *Layer) Weights(j int) []float32 { return l.w[j] }
+
+// Bias returns neuron j's bias.
+func (l *Layer) Bias(j int) float32 { return l.b[j] }
+
+// rebuildChunk is the number of neurons hashed per parallel rebuild chunk;
+// it bounds the transient code-matrix memory at chunk*K*L*4 bytes.
+const rebuildChunk = 4096
+
+// RebuildTables recomputes every neuron's hash codes from its current
+// weights and reinserts all ids (§4.2 "Updating Overhead": SLIDE
+// periodically reconstructs the tables rather than moving ids on every
+// update). Hashing parallelizes over neurons and insertion over tables,
+// exactly the two lock-free axes §3.1 identifies.
+func (l *Layer) RebuildTables(workers int) {
+	if l.tables == nil {
+		return
+	}
+	if l.memo != nil {
+		l.rebuildIncremental(workers)
+		return
+	}
+	l.tables.Clear()
+	l.insertAll(workers, nil, nil)
+}
+
+// insertAll hashes all neurons in chunks and inserts them. When hashNS and
+// insertNS are non-nil they receive the nanoseconds spent hashing and
+// inserting (used by the Table 3 experiment).
+func (l *Layer) insertAll(workers int, hashNS, insertNS *int64) {
+	if workers < 1 {
+		workers = 1
+	}
+	nf := l.fam.NumFuncs()
+	codes := make([]uint32, rebuildChunk*nf)
+	for base := 0; base < l.out; base += rebuildChunk {
+		n := l.out - base
+		if n > rebuildChunk {
+			n = rebuildChunk
+		}
+		start := nowNano()
+		parallelRange(workers, n, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				l.fam.HashDense(l.w[base+r], codes[r*nf:(r+1)*nf])
+			}
+		})
+		mid := nowNano()
+		lt := l.tables
+		parallelRange(minInt(workers, lt.L()), lt.L(), func(lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				for r := 0; r < n; r++ {
+					lt.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
+				}
+			}
+		})
+		end := nowNano()
+		if hashNS != nil {
+			*hashNS += mid - start
+		}
+		if insertNS != nil {
+			*insertNS += end - mid
+		}
+	}
+}
+
+// parallelRange splits [0, n) into contiguous spans across workers
+// goroutines and calls f(lo, hi) for each.
+func parallelRange(workers, n int, f func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arena"
+	"repro/internal/metrics"
+	"repro/internal/optim"
+	"repro/internal/sparse"
+)
+
+// Point is an evaluation point on a training curve.
+type Point = metrics.Point
+
+// Network is a SLIDE network (Algorithm 1): layers with weights, Adam
+// state and per-layer LSH tables. Construct with NewNetwork; the tables
+// are built once from the initial weights (§3.1 "Initialization") and
+// rebuilt on the exponential-decay schedule during training.
+type Network struct {
+	cfg    Config
+	layers []*Layer
+	ar     *arena.Arena
+	adam   optim.Adam
+
+	step     int64 // completed training iterations (batches)
+	rebuilds int   // completed table rebuilds
+	nextAt   int64 // iteration of the next scheduled rebuild
+
+	// touchedWeights counts gradient cells applied across all batches —
+	// the sparse-gradient communication payload of a distributed
+	// replica (§6 future work).
+	touchedWeights int64
+}
+
+// NewNetwork builds and initializes a network: random weights, K*L hash
+// functions per sampled layer, and hash tables populated from the initial
+// weight vectors.
+func NewNetwork(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	for i, lc := range cfg.Layers {
+		if lc.Activation == ActSoftmax && i != len(cfg.Layers)-1 {
+			return nil, fmt.Errorf("core: softmax activation only supported on the output layer (layer %d)", i)
+		}
+	}
+	n := &Network{cfg: cfg, ar: arena.NewDefault(), adam: cfg.Adam}
+	in := cfg.InputDim
+	for i, lc := range cfg.Layers {
+		l, err := newLayer(i, in, lc, cfg, n.ar, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		n.layers = append(n.layers, l)
+		in = lc.Size
+	}
+	n.RebuildTables(0)
+	n.rebuilds = 0 // the initial build is construction, not a scheduled rebuild
+	n.nextAt = int64(cfg.RebuildN0)
+	return n, nil
+}
+
+// Config returns the network's (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumLayers returns the layer count.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// Layer returns layer i.
+func (n *Network) Layer(i int) *Layer { return n.layers[i] }
+
+// OutputDim returns the size of the final layer.
+func (n *Network) OutputDim() int { return n.layers[len(n.layers)-1].out }
+
+// Step returns the number of completed training iterations.
+func (n *Network) Step() int64 { return n.step }
+
+// Rebuilds returns the number of scheduled hash-table rebuilds performed.
+func (n *Network) Rebuilds() int { return n.rebuilds }
+
+// NumParams returns the total trainable parameter count.
+func (n *Network) NumParams() int64 {
+	var p int64
+	for _, l := range n.layers {
+		p += int64(l.out)*int64(l.in) + int64(l.out)
+	}
+	return p
+}
+
+// RebuildTables rebuilds every sampled layer's tables from current
+// weights. workers <= 0 selects GOMAXPROCS.
+func (n *Network) RebuildTables(workers int) {
+	if workers <= 0 {
+		workers = defaultThreads()
+	}
+	for _, l := range n.layers {
+		l.RebuildTables(workers)
+	}
+	n.rebuilds++
+}
+
+// maybeRebuild applies the §4.2 exponential-decay schedule: the first
+// rebuild happens N0 iterations in, and the t-th gap is N0*exp(lambda*t),
+// so rebuilds become rarer as gradients shrink toward convergence.
+func (n *Network) maybeRebuild(workers int) bool {
+	if n.step < n.nextAt {
+		return false
+	}
+	n.RebuildTables(workers)
+	gap := float64(n.cfg.RebuildN0) * math.Exp(n.cfg.RebuildLambda*float64(n.rebuilds))
+	if gap < 1 {
+		gap = 1
+	}
+	n.nextAt = n.step + int64(gap)
+	return true
+}
+
+// Predict runs an exact (all neurons active) forward pass and returns the
+// top-k class ids with their softmax-layer scores, highest first.
+func (n *Network) Predict(x sparse.Vector, k int) ([]int32, []float32, error) {
+	st, err := newElemState(n, n.cfg.Seed^0x9ed1c7, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n.predictWith(st, x, k, modeEvalFull), topScores(st, k), nil
+}
+
+// PredictSampled runs SLIDE's sub-linear inference: active neurons come
+// from the hash tables, and only their scores are computed.
+func (n *Network) PredictSampled(x sparse.Vector, k int) ([]int32, []float32, error) {
+	st, err := newElemState(n, n.cfg.Seed^0x9ed1c7, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n.predictWith(st, x, k, modeEvalSampled), topScores(st, k), nil
+}
+
+// predictWith returns the top-k class ids under the given mode.
+func (n *Network) predictWith(st *elemState, x sparse.Vector, k int, mode forwardMode) []int32 {
+	n.forwardElem(st, x, nil, mode)
+	out := &st.layers[len(st.layers)-1]
+	if out.full {
+		return sparse.TopK(out.vals, k)
+	}
+	pos := sparse.TopK(out.vals, k)
+	ids := make([]int32, len(pos))
+	for i, p := range pos {
+		ids[i] = out.ids[p]
+	}
+	return ids
+}
+
+// topScores reads the scores of the last predictWith call's top-k ids.
+func topScores(st *elemState, k int) []float32 {
+	out := &st.layers[len(st.layers)-1]
+	pos := sparse.TopK(out.vals, k)
+	scores := make([]float32, len(pos))
+	for i, p := range pos {
+		scores[i] = out.vals[p]
+	}
+	return scores
+}

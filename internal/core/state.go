@@ -1,0 +1,140 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sampling"
+)
+
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// layerState is one batch element's view of one layer: which neurons are
+// active and their activations/gradients. It carries the same information
+// as the paper's per-neuron batch arrays (Fig. 2), keyed by element
+// instead of by neuron, so each worker owns its state outright.
+type layerState struct {
+	// full marks every neuron active; ids is nil and vals/delta are
+	// indexed by neuron id.
+	full bool
+	// ids lists active neuron ids when !full (unsorted, unique).
+	ids []int32
+	// vals holds post-activation values aligned with ids (or dense when
+	// full). For softmax layers vals are the normalized probabilities
+	// over the active set.
+	vals []float32
+	// delta holds dL/d(pre-activation) aligned with vals.
+	delta []float32
+}
+
+func (ls *layerState) reset(full bool, n int) {
+	ls.full = full
+	ls.ids = ls.ids[:0]
+	if cap(ls.vals) < n {
+		ls.vals = make([]float32, 0, n)
+		ls.delta = make([]float32, 0, n)
+	}
+	ls.vals = ls.vals[:0]
+	ls.delta = ls.delta[:0]
+}
+
+// elemState is the per-worker compute state reused across batch elements.
+// Nothing in it is shared between workers; the only cross-worker writes
+// during training are the weight updates themselves (§3.1's HOGWILD
+// argument).
+type elemState struct {
+	layers []layerState
+
+	// codes is per-layer hash-code scratch (K*L entries for sampled
+	// layers).
+	codes [][]uint32
+	// strategies holds one private strategy instance per sampled layer.
+	strategies []sampling.Strategy
+	// sampleBuf receives raw strategy output before id conversion.
+	sampleBuf []uint32
+
+	// mark/markEpoch implement O(1)-reset membership sets per sampled
+	// layer, used to merge forced labels into the active set.
+	mark      [][]uint32
+	markEpoch uint32
+
+	// acc accumulates the previous layer's activation gradients during
+	// backprop; sized to the largest fan-in.
+	acc []float32
+
+	// rng drives the element's fallback sampling decisions.
+	rng *rng.RNG
+
+	// busyNS accumulates time spent doing useful work, for the Table 2
+	// utilization accounting.
+	busyNS int64
+	// activeSum and activeCount track mean active-set sizes per sampled
+	// layer (the paper reports ~1000 of 205K and ~3000 of 670K active).
+	activeSum   []int64
+	activeCount []int64
+	// lossSum/lossCount accumulate training cross-entropy between evals.
+	lossSum   float64
+	lossCount int64
+}
+
+// newElemState builds worker state for the network. Worker w gets
+// independent strategy/rng streams derived from seed.
+func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
+	st := &elemState{
+		layers:      make([]layerState, len(n.layers)),
+		codes:       make([][]uint32, len(n.layers)),
+		strategies:  make([]sampling.Strategy, len(n.layers)),
+		mark:        make([][]uint32, len(n.layers)),
+		rng:         rng.NewStream(seed^0xe1e3, uint64(w)*2+1),
+		activeSum:   make([]int64, len(n.layers)),
+		activeCount: make([]int64, len(n.layers)),
+	}
+	maxIn := n.cfg.InputDim
+	for li, l := range n.layers {
+		if l.in > maxIn {
+			maxIn = l.in
+		}
+		if !l.Sampled() {
+			continue
+		}
+		st.codes[li] = make([]uint32, l.fam.NumFuncs())
+		st.mark[li] = make([]uint32, l.out)
+		strat, err := sampling.New(sampling.Params{
+			Kind:     l.cfg.Strategy,
+			Beta:     l.cfg.Beta,
+			MinCount: l.cfg.MinCount,
+			Universe: l.out,
+			Seed:     seed ^ uint64(li)*0x9e3779b97f4a7c15 ^ uint64(w)*0xc2b2ae3d27d4eb4f,
+		}, l.out)
+		if err != nil {
+			return nil, err
+		}
+		st.strategies[li] = strat
+	}
+	st.acc = make([]float32, maxIn)
+	return st, nil
+}
+
+// markSeen stamps id in layer li's membership set, reporting whether it
+// was already present this epoch.
+func (st *elemState) markSeen(li int, id int32) bool {
+	m := st.mark[li]
+	if m[id] == st.markEpoch {
+		return true
+	}
+	m[id] = st.markEpoch
+	return false
+}
+
+// nextEpoch resets all membership sets in O(1).
+func (st *elemState) nextEpoch() {
+	st.markEpoch++
+	if st.markEpoch == 0 {
+		for _, m := range st.mark {
+			for i := range m {
+				m[i] = 0
+			}
+		}
+		st.markEpoch = 1
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+func defaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	// Curve records P@1 on the evaluation subset against training
+	// iterations and training-only wall-clock seconds (evaluation time
+	// excluded, matching how the paper clocks convergence).
+	Curve metrics.Curve
+	// Iterations and Seconds are the totals for the run.
+	Iterations int64
+	Seconds    float64
+	// FinalAcc is the last recorded P@1.
+	FinalAcc float64
+	// MeanActive[l] is the mean active-set size of layer l across the
+	// run (≈1000 of 205K and ≈3000 of 670K in the paper's tasks).
+	MeanActive []float64
+	// Utilization is the mean worker busy fraction (Table 2 analog).
+	Utilization float64
+	// Rebuilds counts scheduled hash-table reconstructions.
+	Rebuilds int
+	// TouchedPerIter is the mean number of weight cells that received a
+	// gradient per iteration — the sparse payload a distributed replica
+	// would communicate, vs NumParams for a dense synchronization (§6).
+	TouchedPerIter float64
+}
+
+// Train runs minibatch training (Algorithm 1). Batch elements are
+// processed by a persistent worker pool — one goroutine slot per element,
+// with private activation/gradient state (§3.1) — and gradients are
+// written according to Config.UpdateMode.
+func (n *Network) Train(train, test []dataset.Example, tc TrainConfig) (*TrainResult, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: empty training split")
+	}
+	tc = tc.withDefaults(len(train))
+	if tc.BatchSize > len(train) {
+		tc.BatchSize = len(train)
+	}
+	workers := tc.Threads
+
+	states := make([]*elemState, workers)
+	for w := range states {
+		st, err := newElemState(n, tc.Seed^n.cfg.Seed, w)
+		if err != nil {
+			return nil, err
+		}
+		states[w] = st
+	}
+
+	var records []*elemRecord
+	if n.cfg.UpdateMode == optim.ModeBatchSync {
+		records = make([]*elemRecord, tc.BatchSize)
+		for i := range records {
+			records[i] = &elemRecord{}
+		}
+	}
+
+	// Persistent worker pool: every batch is announced to all workers
+	// (one message per worker), and workers grab batch elements through a
+	// shared atomic cursor so stragglers self-balance (§3.1: one thread
+	// per batch element, private state, shared weights).
+	type batchJob struct {
+		idxs []int
+		done *sync.WaitGroup
+	}
+	jobs := make(chan batchJob, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := states[w]
+			for job := range jobs {
+				for {
+					k := int(cursor.Add(1)) - 1
+					if k >= len(job.idxs) {
+						break
+					}
+					ex := &train[job.idxs[k]]
+					var rec *elemRecord
+					if records != nil {
+						rec = records[k]
+					}
+					t0 := nowNano()
+					n.forwardElem(st, ex.Features, ex.Labels, modeTrain)
+					loss := n.backwardElem(st, ex.Features, ex.Labels, rec)
+					st.busyNS += nowNano() - t0
+					st.lossSum += loss
+					st.lossCount++
+				}
+				job.done.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	order := rng.NewStream(tc.Seed, 0x0d3).Perm(len(train))
+	evalIdx := evalSubset(test, tc.EvalSamples, tc.Seed)
+	touchedStart := n.touchedWeights
+
+	res := &TrainResult{Curve: metrics.Curve{Name: "p@1"}}
+	var trainNS int64
+	pos := 0
+	var done sync.WaitGroup
+
+	evalNow := func() float64 {
+		p1 := n.evalP1(test, evalIdx, states)
+		pt := Point{
+			Iter:    n.step,
+			Seconds: float64(trainNS) / 1e9,
+			Value:   p1,
+			Loss:    drainLoss(states),
+		}
+		res.Curve.Add(pt)
+		if tc.OnEval != nil {
+			tc.OnEval(pt)
+		}
+		return p1
+	}
+
+	start := n.step
+	for n.step-start < tc.Iterations {
+		if pos+tc.BatchSize > len(order) {
+			reshuffle(order, tc.Seed+uint64(n.step))
+			pos = 0
+		}
+		batch := order[pos : pos+tc.BatchSize]
+		pos += tc.BatchSize
+
+		t0 := nowNano()
+		alpha := n.adam.Alpha(n.step + 1)
+		n.beginBatch()
+		cursor.Store(0)
+		done.Add(workers)
+		for w := 0; w < workers; w++ {
+			jobs <- batchJob{idxs: batch, done: &done}
+		}
+		done.Wait()
+		if records != nil {
+			n.accumulateBatchSync(records, workers)
+		}
+		n.applyAdamBatch(alpha, 1/float32(len(batch)), workers)
+		n.step++
+		n.maybeRebuild(workers)
+		trainNS += nowNano() - t0
+
+		if tc.EvalEvery > 0 && (n.step-start)%tc.EvalEvery == 0 {
+			p1 := evalNow()
+			if tc.TargetAcc > 0 && p1 >= tc.TargetAcc {
+				break
+			}
+		}
+		if tc.MaxSeconds > 0 && float64(trainNS)/1e9 >= tc.MaxSeconds {
+			break
+		}
+	}
+
+	// Final evaluation unless the loop ended exactly on an eval.
+	if last := res.Curve.Last(); last.Iter != n.step || len(res.Curve.Points) == 0 {
+		evalNow()
+	}
+
+	res.Iterations = n.step - start
+	res.Seconds = float64(trainNS) / 1e9
+	res.FinalAcc = res.Curve.Last().Value
+	res.Rebuilds = n.rebuilds
+	if res.Iterations > 0 {
+		res.TouchedPerIter = float64(n.touchedWeights-touchedStart) / float64(res.Iterations)
+	}
+	res.MeanActive = meanActive(states, len(n.layers))
+	res.Utilization = utilization(states, trainNS, workers)
+	return res, nil
+}
+
+func reshuffle(order []int, seed uint64) {
+	r := rng.NewStream(seed, 0x0d4)
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+}
+
+// evalSubset picks a fixed random evaluation subset of the test split.
+func evalSubset(test []dataset.Example, samples int, seed uint64) []int {
+	if len(test) == 0 {
+		return nil
+	}
+	if samples <= 0 {
+		samples = 1024
+	}
+	if samples >= len(test) {
+		idx := make([]int, len(test))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return rng.NewStream(seed, 0xe7a1).SampleK(len(test), samples)
+}
+
+func drainLoss(states []*elemState) float64 {
+	var sum float64
+	var count int64
+	for _, st := range states {
+		sum += st.lossSum
+		count += st.lossCount
+		st.lossSum, st.lossCount = 0, 0
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func meanActive(states []*elemState, layers int) []float64 {
+	out := make([]float64, layers)
+	for li := 0; li < layers; li++ {
+		var sum, count int64
+		for _, st := range states {
+			sum += st.activeSum[li]
+			count += st.activeCount[li]
+		}
+		if count > 0 {
+			out[li] = float64(sum) / float64(count)
+		}
+	}
+	return out
+}
+
+func utilization(states []*elemState, wallNS int64, workers int) float64 {
+	if wallNS <= 0 || workers == 0 {
+		return 0
+	}
+	var busy int64
+	for _, st := range states {
+		busy += st.busyNS
+		st.busyNS = 0
+	}
+	u := float64(busy) / (float64(wallNS) * float64(workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Now returns the current time; exposed so experiments share one clock.
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,250 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func tinyProfile(seed uint64) Profile {
+	return Profile{
+		Name: "t", FeatureDim: 256, NumClasses: 64,
+		TrainSize: 300, TestSize: 100,
+		AvgFeatures: 12, AvgLabels: 2, ProtoNNZ: 8,
+		NoiseFrac: 0.1, LabelSkew: 1.5, Seed: seed,
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	ds, err := Generate(tinyProfile(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 300 || len(ds.Test) != 100 {
+		t.Fatalf("split sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(tinyProfile(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinyProfile(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if !reflect.DeepEqual(a.Train[i].Labels, b.Train[i].Labels) ||
+			!reflect.DeepEqual(a.Train[i].Features.Idx, b.Train[i].Features.Idx) {
+			t.Fatalf("example %d differs across equal-seed generations", i)
+		}
+	}
+	c, err := Generate(tinyProfile(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Train {
+		if reflect.DeepEqual(a.Train[i].Labels, c.Train[i].Labels) {
+			same++
+		}
+	}
+	if same == len(a.Train) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestStatsNearProfile(t *testing.T) {
+	ds, err := Generate(tinyProfile(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Stats()
+	if s.AvgFeatures < 6 || s.AvgFeatures > 20 {
+		t.Errorf("avg features %.1f far from profile 12", s.AvgFeatures)
+	}
+	if s.AvgLabels < 1 || s.AvgLabels > 3.5 {
+		t.Errorf("avg labels %.1f far from profile 2", s.AvgLabels)
+	}
+	if s.FeatureSparsity <= 0 || s.FeatureSparsity > 0.2 {
+		t.Errorf("sparsity %.4f implausible", s.FeatureSparsity)
+	}
+}
+
+func TestExamplesAreUnitNorm(t *testing.T) {
+	ds, err := Generate(tinyProfile(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Train[:20] {
+		n := ds.Train[i].Features.Norm2()
+		if math.Abs(n-1) > 1e-3 {
+			t.Fatalf("example %d norm %v, want 1", i, n)
+		}
+	}
+}
+
+// TestLearnableStructure: examples sharing a label must overlap more in
+// feature support than examples with disjoint labels — the property that
+// makes the planted task learnable.
+func TestLearnableStructure(t *testing.T) {
+	ds, err := Generate(tinyProfile(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := func(a, b Example) float64 {
+		set := map[int32]bool{}
+		for _, i := range a.Features.Idx {
+			set[i] = true
+		}
+		hits := 0
+		for _, i := range b.Features.Idx {
+			if set[i] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(b.Features.Idx)+1)
+	}
+	shareLabel := func(a, b Example) bool {
+		set := map[int32]bool{}
+		for _, l := range a.Labels {
+			set[l] = true
+		}
+		for _, l := range b.Labels {
+			if set[l] {
+				return true
+			}
+		}
+		return false
+	}
+	var sameSum, diffSum float64
+	var sameN, diffN int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			o := overlap(ds.Train[i], ds.Train[j])
+			if shareLabel(ds.Train[i], ds.Train[j]) {
+				sameSum += o
+				sameN++
+			} else {
+				diffSum += o
+				diffN++
+			}
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Skip("degenerate label draw")
+	}
+	if sameSum/float64(sameN) <= diffSum/float64(diffN) {
+		t.Fatalf("shared-label overlap %.3f <= disjoint %.3f; task not learnable",
+			sameSum/float64(sameN), diffSum/float64(diffN))
+	}
+}
+
+func TestScaleProfileBounds(t *testing.T) {
+	p := Delicious200K(0.01, 1)
+	if p.FeatureDim != 7825 || p.NumClasses != 2054 {
+		t.Fatalf("scaled dims: %d features, %d classes", p.FeatureDim, p.NumClasses)
+	}
+	if p.AvgFeatures <= 0 || p.AvgLabels <= 0 || p.ProtoNNZ <= 0 {
+		t.Fatalf("scaled counts non-positive: %+v", p)
+	}
+	full := Amazon670K(1, 1)
+	if full.FeatureDim != 135909 || full.NumClasses != 670091 {
+		t.Fatalf("paper dims wrong: %+v", full)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scale > 1 accepted")
+		}
+	}()
+	Delicious200K(1.5, 1)
+}
+
+func TestGenerateRejectsBadProfiles(t *testing.T) {
+	p := tinyProfile(1)
+	p.FeatureDim = 0
+	if _, err := Generate(p); err == nil {
+		t.Error("zero FeatureDim accepted")
+	}
+	p = tinyProfile(1)
+	p.AvgLabels = 0
+	if _, err := Generate(p); err == nil {
+		t.Error("zero AvgLabels accepted")
+	}
+}
+
+func TestXCRoundTrip(t *testing.T) {
+	ds, err := Generate(tinyProfile(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteXC(&buf, ds.Train[:50], ds.InputDim, ds.NumClasses); err != nil {
+		t.Fatal(err)
+	}
+	back, nf, nl, err := ReadXC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf != ds.InputDim || nl != ds.NumClasses || len(back) != 50 {
+		t.Fatalf("header %d/%d, %d examples", nf, nl, len(back))
+	}
+	for i := range back {
+		if !reflect.DeepEqual(back[i].Labels, ds.Train[i].Labels) {
+			t.Fatalf("example %d labels: %v != %v", i, back[i].Labels, ds.Train[i].Labels)
+		}
+		if !reflect.DeepEqual(back[i].Features.Idx, ds.Train[i].Features.Idx) {
+			t.Fatalf("example %d indices differ", i)
+		}
+		for j := range back[i].Features.Val {
+			if math.Abs(float64(back[i].Features.Val[j]-ds.Train[i].Features.Val[j])) > 1e-5 {
+				t.Fatalf("example %d value %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadXCErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"1 2",                 // short header
+		"x 2 3\n",             // bad count
+		"1 10 5\n9 0:bad\n",   // bad value
+		"1 10 5\n7 0:1\n",     // label out of range
+		"1 10 5\n1 20:1\n",    // feature out of range
+		"1 10 5\n1 nocolon\n", // bad token
+	}
+	for i, c := range cases {
+		if _, _, _, err := ReadXC(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadXCNoLabelLine(t *testing.T) {
+	in := "1 10 5\n 0:1.5 3:2\n"
+	exs, _, _, err := ReadXC(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 1 || len(exs[0].Labels) != 0 || exs[0].Features.NNZ() != 2 {
+		t.Fatalf("parsed %+v", exs)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ds, err := Generate(tinyProfile(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Train[0].Labels = []int32{int32(ds.NumClasses)}
+	if err := ds.Validate(); err == nil {
+		t.Fatal("out-of-range label not caught")
+	}
+}

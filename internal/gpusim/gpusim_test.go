@@ -1,0 +1,75 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSecondsPerIterationComponents(t *testing.T) {
+	m := Model{EffFLOPS: 1e12, KernelOverhead: 1e-5, KernelsPerIter: 10, HostOverhead: 1e-4}
+	got := m.SecondsPerIteration(1e9)
+	want := 1e9/1e12 + 10*1e-5 + 1e-4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Overheads floor the time for tiny kernels — the paper's "GPU
+	// advantage not noticeable on sparse data" effect.
+	if m.SecondsPerIteration(0) <= 0 {
+		t.Fatal("zero-FLOP iteration should still cost overhead")
+	}
+}
+
+func TestSecondsMonotoneInFLOPs(t *testing.T) {
+	m := V100()
+	prev := 0.0
+	for f := 1e6; f <= 1e12; f *= 10 {
+		s := m.SecondsPerIteration(f)
+		if s < prev {
+			t.Fatalf("time decreased with FLOPs at %g", f)
+		}
+		prev = s
+	}
+}
+
+func TestRetimePreservesAccuracy(t *testing.T) {
+	cpu := &metrics.Curve{Name: "cpu"}
+	cpu.Add(metrics.Point{Iter: 100, Seconds: 50, Value: 0.2})
+	cpu.Add(metrics.Point{Iter: 200, Seconds: 100, Value: 0.3})
+	m := V100()
+	gpu := m.Retime(cpu, 1e9)
+	if len(gpu.Points) != 2 {
+		t.Fatalf("point count %d", len(gpu.Points))
+	}
+	for i := range gpu.Points {
+		if gpu.Points[i].Value != cpu.Points[i].Value || gpu.Points[i].Iter != cpu.Points[i].Iter {
+			t.Fatal("Retime changed accuracy or iterations")
+		}
+	}
+	perIter := m.SecondsPerIteration(1e9)
+	if math.Abs(gpu.Points[1].Seconds-200*perIter) > 1e-9 {
+		t.Fatalf("retimed seconds %v, want %v", gpu.Points[1].Seconds, 200*perIter)
+	}
+	// The simulated V100 should beat a slow CPU on identical math.
+	if gpu.Points[1].Seconds >= cpu.Points[1].Seconds {
+		t.Fatal("simulated V100 slower than the 2 GFLOP/s CPU in this scenario")
+	}
+}
+
+func TestBadModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero EffFLOPS did not panic")
+		}
+	}()
+	Model{}.SecondsPerIteration(1)
+}
+
+func TestStringMentionsConstants(t *testing.T) {
+	s := V100().String()
+	if !strings.Contains(s, "FLOP/s") || !strings.Contains(s, "v100") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Statistics of the datasets (Table 1)",
+		Run:   runTable1,
+	})
+}
+
+// runTable1 regenerates the paper's dataset statistics table from the
+// synthetic profiles at the chosen scale, next to the published values
+// for reference.
+func runTable1(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc, err := ScaleByName(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "table1", Title: "Statistics of the datasets"}
+	rep.AddNote("synthetic datasets generated at scale %g of the published dimensions", sc.DatasetScale)
+
+	t := Table{
+		Title: "dataset statistics",
+		Header: []string{"Dataset", "Feature Dim", "Feature Sparsity", "Label Dim",
+			"Training Size", "Testing Size", "Avg Features", "Avg Labels"},
+	}
+	paperRows := [][]string{
+		{"Delicious-200K (paper)", "782585", "0.038%", "205443", "196606", "100095", "~300", "~75"},
+		{"Amazon-670K (paper)", "135909", "0.055%", "670091", "490449", "153025", "~75", "~5"},
+	}
+	profiles := []dataset.Profile{
+		dataset.Delicious200K(sc.DatasetScale, opts.Seed),
+		dataset.Amazon670K(sc.DatasetScale, opts.Seed),
+	}
+	for _, p := range profiles {
+		opts.logf("table1: generating %s", p.Name)
+		ds, err := dataset.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Validate(); err != nil {
+			return nil, err
+		}
+		s := ds.Stats()
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", s.FeatureDim),
+			fmt.Sprintf("%.3f%%", s.FeatureSparsity*100),
+			fmt.Sprintf("%d", s.LabelDim),
+			fmt.Sprintf("%d", s.TrainSize),
+			fmt.Sprintf("%d", s.TestSize),
+			fmtF(s.AvgFeatures, 1),
+			fmtF(s.AvgLabels, 1),
+		})
+	}
+	t.Rows = append(t.Rows, paperRows...)
+	rep.Tables = append(rep.Tables, t)
+	return rep, nil
+}

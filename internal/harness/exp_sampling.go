@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Time per query for MIPS sampling strategies (Fig. 4 / Fig. 12)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Hard thresholding selection probability curves (Fig. 11)",
+		Run:   runFig11,
+	})
+}
+
+// strategyBench holds a pre-built table set over a neuron population,
+// shared by fig4 and table3.
+type strategyBench struct {
+	dim     int
+	neurons int
+	fam     lsh.Family
+	weights [][]float32
+	codes   []uint32 // neuron codes, stride nf
+}
+
+// newStrategyBench hashes a random neuron population of the Delicious
+// output layer's shape (weight rows over a 128-wide hidden layer).
+func newStrategyBench(neurons, k, l int, seed uint64) (*strategyBench, error) {
+	const dim = 128
+	fam, err := lsh.New(lsh.KindSimhash, lsh.Params{Dim: dim, K: k, L: l, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	b := &strategyBench{dim: dim, neurons: neurons, fam: fam}
+	r := rng.NewStream(seed, 0xf164)
+	b.weights = make([][]float32, neurons)
+	flat := make([]float32, neurons*dim)
+	for j := range b.weights {
+		row := flat[j*dim : (j+1)*dim]
+		for i := range row {
+			row[i] = r.NormFloat32()
+		}
+		b.weights[j] = row
+	}
+	nf := fam.NumFuncs()
+	b.codes = make([]uint32, neurons*nf)
+	parallelChunks(neurons, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			fam.HashDense(b.weights[j], b.codes[j*nf:(j+1)*nf])
+		}
+	})
+	return b, nil
+}
+
+// buildTables inserts every neuron under the given policy, returning the
+// hash-only and insert-only durations (Table 3's two columns).
+func (b *strategyBench) buildTables(k, l int, policy hashtable.Policy, seed uint64, workers int) (*hashtable.Table, time.Duration, error) {
+	tbl, err := hashtable.New(hashtable.Config{
+		K: k, L: l, CodeBits: b.fam.CodeBits(), Policy: policy, Seed: seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	nf := b.fam.NumFuncs()
+	start := time.Now()
+	tbl.BuildParallel(b.neurons, b.codes, nf, workers)
+	return tbl, time.Since(start), nil
+}
+
+func runFig4(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc, err := ScaleByName(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	// The paper samples 2000-7000 neurons from the 205,443-neuron
+	// Delicious output layer (~1% to ~3.4%); the same fractions apply at
+	// every scale.
+	neurons := maxI(512, int(205443*sc.DatasetScale))
+	k, l := sc.K, sc.L
+	opts.logf("fig4: building (K=%d, L=%d) tables over %d neurons", k, l, neurons)
+	bench, err := newStrategyBench(neurons, k, l, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tbl, _, err := bench.buildTables(k, l, hashtable.PolicyReservoir, opts.Seed, opts.Threads)
+	if err != nil {
+		return nil, err
+	}
+
+	const queries = 64
+	qr := rng.NewStream(opts.Seed, 0x9a4)
+	nf := bench.fam.NumFuncs()
+	qCodes := make([]uint32, queries*nf)
+	qVec := make([]float32, bench.dim)
+	for q := 0; q < queries; q++ {
+		for i := range qVec {
+			qVec[i] = qr.NormFloat32()
+		}
+		bench.fam.HashDense(qVec, qCodes[q*nf:(q+1)*nf])
+	}
+
+	fracs := []float64{0.010, 0.015, 0.020, 0.025, 0.030, 0.034}
+	kinds := []sampling.Kind{sampling.KindVanilla, sampling.KindTopK, sampling.KindHardThreshold}
+
+	rep := &Report{ID: "fig4", Title: "Time per query for MIPS sampling strategies"}
+	rep.AddNote("%d neurons, K=%d, L=%d, %d queries per point; times are seconds per query (retrieval only, hashing excluded as a shared cost)", neurons, k, l, queries)
+	summary := Table{
+		Title:  "seconds per query",
+		Header: []string{"#samples", "vanilla", "topk", "hard-threshold"},
+	}
+	series := make([]Series, len(kinds))
+	for i, kind := range kinds {
+		series[i] = Series{Name: kind.String(), XLabel: "#samples", YLabel: "seconds"}
+	}
+
+	dst := make([]uint32, 0, neurons)
+	for _, frac := range fracs {
+		beta := maxI(16, int(frac*float64(neurons)))
+		row := []string{fmt.Sprintf("%d", beta)}
+		for i, kind := range kinds {
+			strat, err := sampling.New(sampling.Params{
+				Kind: kind, Beta: beta, MinCount: 2, Seed: opts.Seed,
+			}, neurons)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for q := 0; q < queries; q++ {
+				dst = strat.Sample(dst[:0], tbl, qCodes[q*nf:(q+1)*nf])
+			}
+			per := time.Since(start).Seconds() / queries
+			series[i].X = append(series[i].X, float64(beta))
+			series[i].Y = append(series[i].Y, per)
+			row = append(row, fmt.Sprintf("%.3g", per))
+		}
+		summary.Rows = append(summary.Rows, row)
+		opts.logf("fig4: beta=%d done", beta)
+	}
+	rep.Tables = append(rep.Tables, summary)
+	rep.Series = append(rep.Series, series...)
+	return rep, nil
+}
+
+// runFig11 evaluates eqn. 3 exactly as Fig. 11 plots it: selection
+// probability vs per-table collision probability p for L=10 tables and
+// frequency thresholds m in {1,3,5,7,9}.
+func runFig11(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	const l = 10
+	rep := &Report{ID: "fig11", Title: "Hard thresholding selection probability (eqn. 3)"}
+	rep.AddNote("L=%d tables; x-axis is the per-table collision probability p (K folded in)", l)
+	tab := Table{Title: "Pr[selected]", Header: []string{"p", "m=1", "m=3", "m=5", "m=7", "m=9"}}
+	ms := []int{1, 3, 5, 7, 9}
+	series := make([]Series, len(ms))
+	for i, m := range ms {
+		series[i] = Series{Name: fmt.Sprintf("m=%d", m), XLabel: "p", YLabel: "Pr"}
+	}
+	for p := 0.05; p <= 0.951; p += 0.05 {
+		row := []string{fmtF(p, 2)}
+		for i, m := range ms {
+			pr := sampling.SelectionProbability(p, 1, l, m)
+			series[i].X = append(series[i].X, p)
+			series[i].Y = append(series[i].Y, pr)
+			row = append(row, fmtF(pr, 4))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, tab)
+	rep.Series = append(rep.Series, series...)
+	return rep, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/profiler"
+	"repro/internal/sampling"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Hash table insertion policy timing (Table 3)",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Memory layout (hugepage analog) counter metrics (Table 4)",
+		Run:   runTable4,
+	})
+}
+
+// runTable3 times inserting the whole Delicious output layer (205,443
+// neurons at scale 1) into the hash tables under reservoir sampling vs
+// FIFO, splitting the hash-code computation ("Full Insertion" includes
+// it, "Insertion to HT" excludes it), as App. C.2 does.
+func runTable3(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc, err := ScaleByName(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	neurons := maxI(1024, int(205443*sc.DatasetScale))
+	k, l := sc.K, sc.L
+	opts.logf("table3: hashing %d neurons (K=%d, L=%d)", neurons, k, l)
+
+	hashStart := time.Now()
+	bench, err := newStrategyBench(neurons, k, l, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hashTime := time.Since(hashStart)
+
+	rep := &Report{ID: "table3", Title: "Time taken by hash table insertion schemes"}
+	rep.AddNote("%d neurons, Simhash K=%d L=%d; 'Full Insertion' includes hash-code computation, threads=%d", neurons, k, l, opts.Threads)
+	tab := Table{Title: "insertion timing", Header: []string{"Policy", "Insertion to HT", "Full Insertion"}}
+	for _, policy := range []hashtable.Policy{hashtable.PolicyReservoir, hashtable.PolicyFIFO} {
+		_, insertTime, err := bench.buildTables(k, l, policy, opts.Seed, opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			policy.String(),
+			fmt.Sprintf("%.3f s", insertTime.Seconds()),
+			fmt.Sprintf("%.3f s", (hashTime + insertTime).Seconds()),
+		})
+		opts.logf("table3: %s insert=%.3fs full=%.3fs", policy, insertTime.Seconds(), (hashTime + insertTime).Seconds())
+	}
+	tab.Rows = append(tab.Rows,
+		[]string{"reservoir (paper)", "0.371 s", "18 s"},
+		[]string{"fifo (paper)", "0.762 s", "18 s"},
+	)
+	rep.Tables = append(rep.Tables, tab)
+	return rep, nil
+}
+
+// runTable4 compares the contiguous-arena layout against per-neuron
+// allocation — the repository's Transparent Hugepages analog (App. D.1).
+// The paper's TLB/page-walk counters become the observable Go
+// equivalents: heap object count, allocation count, GC cycles and the
+// measured training iteration time.
+func runTable4(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc, err := ScaleByName(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	w, err := deliciousWorkload(opts, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	type layoutResult struct {
+		objects uint64
+		allocs  uint64
+		bytes   uint64
+		gc      uint32
+		perIter float64
+	}
+	run := func(layout core.Layout, padded bool) (layoutResult, error) {
+		before := profiler.ReadMemStats()
+		cfg := w.slideConfig(opts, sampling.KindVanilla, hashtable.PolicyReservoir)
+		cfg.Layout = layout
+		cfg.PadRows = padded
+		net, err := core.NewNetwork(cfg)
+		if err != nil {
+			return layoutResult{}, err
+		}
+		after := profiler.ReadMemStats()
+		delta := before.Delta(after)
+
+		tc := w.trainConfig(opts, opts.Threads)
+		tc.Iterations = 30
+		tc.EvalEvery = 0
+		res, err := net.Train(w.ds.Train, w.ds.Test, tc)
+		if err != nil {
+			return layoutResult{}, err
+		}
+		end := profiler.ReadMemStats()
+		return layoutResult{
+			objects: delta.HeapObjects,
+			allocs:  delta.TotalAllocs,
+			bytes:   delta.HeapBytes,
+			gc:      end.GCCycles - before.GCCycles,
+			perIter: res.Seconds / float64(res.Iterations),
+		}, nil
+	}
+
+	opts.logf("table4: per-neuron layout")
+	plain, err := run(core.LayoutPerNeuron, false)
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("table4: contiguous arena layout")
+	packed, err := run(core.LayoutContiguous, true)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "table4", Title: "Memory layout counter metrics (hugepage analog)"}
+	rep.AddNote("substitution: Transparent Hugepages -> arena slabs; TLB/PTW counters -> allocator object counts (both measure 'how many distinct memory regions back the parameters')")
+	rep.AddNote("workload: %s, 30 training iterations, threads=%d", w.ds.Name, opts.Threads)
+	tab := Table{
+		Title:  "metric comparison",
+		Header: []string{"Metric", "Per-neuron (no hugepages)", "Arena (with hugepages)"},
+	}
+	tab.Rows = [][]string{
+		{"heap objects for parameters", fmt.Sprintf("%d", plain.objects), fmt.Sprintf("%d", packed.objects)},
+		{"allocations during build", fmt.Sprintf("%d", plain.allocs), fmt.Sprintf("%d", packed.allocs)},
+		{"parameter heap bytes", fmt.Sprintf("%d", plain.bytes), fmt.Sprintf("%d", packed.bytes)},
+		{"GC cycles (build+30 iters)", fmt.Sprintf("%d", plain.gc), fmt.Sprintf("%d", packed.gc)},
+		{"seconds per iteration", fmt.Sprintf("%.4f", plain.perIter), fmt.Sprintf("%.4f", packed.perIter)},
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep, nil
+}

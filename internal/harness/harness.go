@@ -1,0 +1,239 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation (§5, appendices B-E). Each experiment is a named runner that
+// builds its workload at a chosen scale preset, executes SLIDE and the
+// relevant baselines, and emits the same rows/series the paper reports,
+// as text tables and optional CSV files.
+//
+// Scale presets trade fidelity for runtime: "tiny" and "small" finish in
+// seconds (tests, benchmarks), "medium" in minutes (default for
+// cmd/slide-bench), "paper" uses the published dimensions.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale names a preset: tiny, small, medium, paper.
+	Scale string
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Threads is the worker count for single-thread-count experiments;
+	// 0 selects GOMAXPROCS.
+	Threads int
+	// ThreadSweep overrides the thread counts used by scalability and
+	// utilization experiments; nil selects a default sweep capped at
+	// the machine's GOMAXPROCS.
+	ThreadSweep []int
+	// OutDir, when non-empty, receives one CSV file per table/series.
+	OutDir string
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == "" {
+		o.Scale = "small"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	fmt.Fprintf(o.Log, format+"\n", args...)
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Series is one plottable line of a figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Tables []Table
+	Series []Series
+}
+
+// AddNote appends a formatted note to the report.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the report as aligned text.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		writeAligned(w, t.Header, t.Rows)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n-- series %s (%s vs %s) --\n", s.Name, s.YLabel, s.XLabel)
+		header := []string{s.XLabel, s.YLabel}
+		rows := make([][]string, len(s.X))
+		for i := range s.X {
+			rows[i] = []string{fmtG(s.X[i]), fmtG(s.Y[i])}
+		}
+		writeAligned(w, header, rows)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes each table and series as a CSV file under dir.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", r.ID, i+1))
+		if err := writeCSVFile(path, t.Header, t.Rows); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		rows := make([][]string, len(s.X))
+		for i := range s.X {
+			rows[i] = []string{fmtG(s.X[i]), fmtG(s.Y[i])}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, sanitize(s.Name)))
+		if err := writeCSVFile(path, []string{s.XLabel, s.YLabel}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, header []string, rows [][]string) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[minI(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func fmtG(v float64) string { return fmt.Sprintf("%g", v) }
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments lists all registered experiments, sorted by id.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, writing text reports to w and CSVs to
+// opts.OutDir when set. The first error aborts.
+func RunAll(opts Options, w io.Writer) error {
+	for _, e := range Experiments() {
+		rep, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		rep.WriteText(w)
+		if opts.OutDir != "" {
+			if err := rep.WriteCSV(opts.OutDir); err != nil {
+				return fmt.Errorf("%s: writing CSV: %w", e.ID, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/optim"
+	"repro/internal/sampling"
+)
+
+// ScaleSpec fixes the workload dimensions and hyperparameters of one
+// preset. The paper's settings (§5 "Hyper Parameters") are reproduced at
+// scale "paper"; smaller presets shrink the datasets and table counts
+// proportionally so every experiment keeps the same structure.
+type ScaleSpec struct {
+	Name string
+	// DatasetScale multiplies the Table 1 dimensions.
+	DatasetScale float64
+	// Epochs bounds training length for convergence experiments.
+	Epochs int
+	// EvalEvery and EvalSamples control curve resolution.
+	EvalEvery   int64
+	EvalSamples int
+	// K, L and BetaFrac size the LSH machinery; Beta is
+	// max(32, BetaFrac*classes), approximating the paper's ~0.5% active
+	// neurons.
+	K, L     int
+	BetaFrac float64
+	// LR is the Adam step size, shared by SLIDE and every baseline. The
+	// paper tunes it in [1e-5, 1e-3]; wider output layers need smaller
+	// steps for the sparse softmax to stay stable near convergence.
+	LR float32
+}
+
+// Scales lists the available presets.
+func Scales() []ScaleSpec {
+	return []ScaleSpec{
+		{Name: "tiny", DatasetScale: 0.004, Epochs: 4, EvalEvery: 25, EvalSamples: 256, K: 5, L: 12, BetaFrac: 0.08, LR: 1e-3},
+		{Name: "small", DatasetScale: 0.01, Epochs: 4, EvalEvery: 40, EvalSamples: 512, K: 6, L: 20, BetaFrac: 0.05, LR: 1e-3},
+		{Name: "medium", DatasetScale: 0.1, Epochs: 3, EvalEvery: 60, EvalSamples: 1024, K: 8, L: 50, BetaFrac: 0.02, LR: 3e-4},
+		// The paper's settings: Simhash K=9 (Delicious) / DWTA K=8
+		// (Amazon), L=50, ~1000 and ~3000 active neurons.
+		{Name: "paper", DatasetScale: 1, Epochs: 2, EvalEvery: 200, EvalSamples: 2048, K: 9, L: 50, BetaFrac: 0.005, LR: 1e-4},
+	}
+}
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (ScaleSpec, error) {
+	for _, s := range Scales() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ScaleSpec{}, fmt.Errorf("harness: unknown scale %q (want tiny|small|medium|paper)", name)
+}
+
+// workload bundles one dataset with its SLIDE hyperparameters.
+type workload struct {
+	ds    *dataset.Dataset
+	sc    ScaleSpec
+	hash  lsh.Kind
+	k     int
+	batch int
+	beta  int
+}
+
+// deliciousWorkload builds the Delicious-200K task at the preset scale:
+// Simhash K=9 (paper §5), batch 128.
+func deliciousWorkload(opts Options, sc ScaleSpec) (*workload, error) {
+	ds, err := dataset.Generate(dataset.Delicious200K(sc.DatasetScale, opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	k := sc.K
+	if sc.Name == "paper" {
+		k = 9
+	}
+	return &workload{ds: ds, sc: sc, hash: lsh.KindSimhash, k: k, batch: 128, beta: betaFor(sc, ds.NumClasses)}, nil
+}
+
+// amazonWorkload builds the Amazon-670K task: DWTA K=8 (paper §5),
+// batch 256.
+func amazonWorkload(opts Options, sc ScaleSpec) (*workload, error) {
+	ds, err := dataset.Generate(dataset.Amazon670K(sc.DatasetScale, opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	k := sc.K
+	if sc.Name == "paper" {
+		k = 8
+	}
+	return &workload{ds: ds, sc: sc, hash: lsh.KindDWTA, k: k, batch: 256, beta: betaFor(sc, ds.NumClasses)}, nil
+}
+
+func betaFor(sc ScaleSpec, classes int) int {
+	beta := int(sc.BetaFrac * float64(classes))
+	if beta < 32 {
+		beta = 32
+	}
+	if beta > classes {
+		beta = classes
+	}
+	return beta
+}
+
+// slideConfig builds the paper's architecture (one hidden layer of 128,
+// hash tables on the output layer, §5 "Hyper Parameters") for a workload.
+func (w *workload) slideConfig(opts Options, strategy sampling.Kind, policy hashtable.Policy) core.Config {
+	return core.Config{
+		InputDim: w.ds.InputDim,
+		Seed:     opts.Seed,
+		Adam:     optim.NewAdam(w.sc.LR),
+		Layers: []core.LayerConfig{
+			{Size: 128, Activation: core.ActReLU},
+			{
+				Size:       w.ds.NumClasses,
+				Activation: core.ActSoftmax,
+				Sampled:    true,
+				Hash:       w.hash,
+				K:          w.k,
+				L:          w.sc.L,
+				RangePow:   autoRangePow(w.ds.NumClasses, w.k, codeBitsFor(w.hash)),
+				Policy:     policy,
+				Strategy:   strategy,
+				Beta:       w.beta,
+				MinCount:   2,
+			},
+		},
+		RebuildN0: 50, // paper: initial update period N0 = 50 iterations
+	}
+}
+
+// autoRangePow sizes the per-table bucket count so that the expected
+// occupancy stays around 32 neurons per bucket regardless of scale: with
+// too many buckets for the neuron population, retrieval starves (almost
+// every bucket is empty); with too few, buckets saturate and sampling
+// degenerates toward uniform. Capped by the code width K*codeBits (a
+// packed address cannot exceed it) and the reference implementation's
+// range of 2^18.
+func autoRangePow(neurons, k, codeBits int) int {
+	rp := 0
+	for 1<<(rp+1) <= neurons/32 {
+		rp++
+	}
+	if rp < 4 {
+		rp = 4
+	}
+	if rp > 18 {
+		rp = 18
+	}
+	if kb := k * codeBits; kb < rp {
+		rp = kb
+	}
+	return rp
+}
+
+// codeBitsFor mirrors each family's CodeBits for table sizing: Simhash
+// emits sign bits, WTA/DWTA emit log2(binSize)=3-bit codes, DOPH emits
+// 8-bit minhash codes.
+func codeBitsFor(kind lsh.Kind) int {
+	switch kind {
+	case lsh.KindSimhash:
+		return 1
+	case lsh.KindWTA, lsh.KindDWTA:
+		return 3
+	case lsh.KindDOPH:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// trainConfig builds the shared trainer settings.
+func (w *workload) trainConfig(opts Options, threads int) core.TrainConfig {
+	return core.TrainConfig{
+		BatchSize:   w.batch,
+		Epochs:      w.sc.Epochs,
+		Threads:     threads,
+		EvalEvery:   w.sc.EvalEvery,
+		EvalSamples: w.sc.EvalSamples,
+		Seed:        opts.Seed,
+	}
+}
+
+// defaultThreadSweep returns the utilization/scalability thread counts
+// capped at the machine size. The paper sweeps 2..44 on a 44-core box.
+func defaultThreadSweep(maxThreads int, counts ...int) []int {
+	var out []int
+	for _, c := range counts {
+		if c <= maxThreads {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != maxThreads {
+		out = append(out, maxThreads)
+	}
+	return out
+}
+
+// curveSeries converts a metrics curve into time- and iteration-axis
+// series for a figure.
+func curveSeries(name string, pts []core.Point) (timeS, iterS Series) {
+	timeS = Series{Name: name + " (time)", XLabel: "seconds", YLabel: "p@1"}
+	iterS = Series{Name: name + " (iterations)", XLabel: "iterations", YLabel: "p@1"}
+	for _, p := range pts {
+		timeS.X = append(timeS.X, p.Seconds)
+		timeS.Y = append(timeS.Y, p.Value)
+		iterS.X = append(iterS.X, float64(p.Iter))
+		iterS.Y = append(iterS.Y, p.Value)
+	}
+	return timeS, iterS
+}

@@ -1,0 +1,40 @@
+package hashtable
+
+import "sync"
+
+// BuildParallel clears the tables and inserts ids 0..n-1 using the
+// precomputed flat code matrix (codes[id*stride : id*stride+K*L]).
+// Work is parallelized across tables — each goroutine owns a disjoint
+// range of table indices, so no synchronization is needed — which is the
+// paper's observation that table construction "can easily be parallelized
+// with multiple threads" (§3.1).
+func (t *Table) BuildParallel(n int, codes []uint32, stride, workers int) {
+	if stride < t.cfg.K*t.cfg.L {
+		panic("hashtable: BuildParallel stride smaller than K*L")
+	}
+	t.Clear()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > t.cfg.L {
+		workers = t.cfg.L
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * t.cfg.L / workers
+		hi := (w + 1) * t.cfg.L / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for ti := lo; ti < hi; ti++ {
+				for id := 0; id < n; id++ {
+					t.InsertInto(ti, uint32(id), codes[id*stride:id*stride+stride])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

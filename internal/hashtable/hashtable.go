@@ -1,0 +1,274 @@
+// Package hashtable implements the (K, L)-parameterized LSH tables at the
+// heart of SLIDE (§2, §3.2): L independent tables, each addressed by a
+// meta-hash of K codes, holding neuron ids in fixed-capacity buckets.
+//
+// Bucket capacity is limited (the paper: "the number of entries is limited
+// to a fixed bucket size" to bound memory and balance thread load), with
+// two full-bucket replacement policies from §4.2: Vitter reservoir sampling
+// (which preserves the adaptive sampling property) and FIFO.
+//
+// Addressing: when the K codes of a table pack into at most RangePow bits
+// they are concatenated directly (as in the reference C++ implementation);
+// otherwise the codes are mixed by a seeded 64-bit finalizer down to
+// RangePow bits.
+package hashtable
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Policy selects the replacement strategy applied when inserting into a
+// full bucket.
+type Policy int
+
+const (
+	// PolicyReservoir keeps a uniform sample of all ids ever inserted
+	// (Vitter's algorithm R), preserving LSH's adaptive sampling property.
+	PolicyReservoir Policy = iota
+	// PolicyFIFO overwrites the oldest entry (ring buffer).
+	PolicyFIFO
+)
+
+// String returns the configuration name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyReservoir:
+		return "reservoir"
+	case PolicyFIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a configuration name into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "reservoir":
+		return PolicyReservoir, nil
+	case "fifo":
+		return PolicyFIFO, nil
+	}
+	return 0, fmt.Errorf("hashtable: unknown policy %q", s)
+}
+
+// Config parameterizes a table set.
+type Config struct {
+	// K is the number of hash codes concatenated per table address.
+	K int
+	// L is the number of tables.
+	L int
+	// CodeBits is the significant bit width of each code (from the LSH
+	// family's CodeBits).
+	CodeBits int
+	// RangePow caps each table at 1<<RangePow buckets. Zero selects
+	// min(K*CodeBits, 18), mirroring the reference implementation's
+	// default table range.
+	RangePow int
+	// BucketSize is the fixed bucket capacity. Zero selects 128.
+	BucketSize int
+	// Policy is the full-bucket replacement policy.
+	Policy Policy
+	// Seed drives the mixing hash and reservoir randomness.
+	Seed uint64
+}
+
+// DefaultRangePowCap bounds the automatic RangePow choice so that K tables
+// of wide codes (e.g. DWTA's K*3 bits) do not allocate huge bucket arrays.
+const DefaultRangePowCap = 18
+
+// DefaultBucketSize is the paper's fixed bucket size.
+const DefaultBucketSize = 128
+
+func (c Config) withDefaults() Config {
+	if c.BucketSize == 0 {
+		c.BucketSize = DefaultBucketSize
+	}
+	if c.RangePow == 0 {
+		c.RangePow = c.K * c.CodeBits
+		if c.RangePow > DefaultRangePowCap {
+			c.RangePow = DefaultRangePowCap
+		}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 || c.L <= 0 {
+		return fmt.Errorf("hashtable: K and L must be positive, got K=%d L=%d", c.K, c.L)
+	}
+	if c.CodeBits <= 0 || c.CodeBits > 32 {
+		return fmt.Errorf("hashtable: CodeBits must be in [1,32], got %d", c.CodeBits)
+	}
+	if c.RangePow < 1 || c.RangePow > 28 {
+		return fmt.Errorf("hashtable: RangePow must be in [1,28], got %d", c.RangePow)
+	}
+	if c.BucketSize < 1 {
+		return fmt.Errorf("hashtable: BucketSize must be positive, got %d", c.BucketSize)
+	}
+	return nil
+}
+
+// Table is a set of L LSH tables over uint32 ids. Insertion is safe for
+// concurrent use only when distinct goroutines operate on distinct table
+// indices (see InsertBatch); queries are safe concurrently with each other.
+type Table struct {
+	cfg        Config
+	numBuckets int
+	packed     bool // direct code concatenation vs mixed addressing
+
+	// buckets is laid out [L][numBuckets]; each bucket owns a fixed
+	// BucketSize id slab within ids.
+	buckets []bucket
+	ids     []uint32
+
+	// insertRNG[t] supplies reservoir randomness for table t, keeping
+	// per-table insertion deterministic and lock-free under the
+	// one-goroutine-per-table parallel build.
+	insertRNG []*rng.RNG
+}
+
+type bucket struct {
+	len   int32  // occupied entries, <= BucketSize
+	seen  uint32 // total insertions ever attempted (reservoir counter / FIFO cursor)
+	start int    // offset into Table.ids
+}
+
+// New creates an empty table set.
+func New(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		cfg:        cfg,
+		numBuckets: 1 << cfg.RangePow,
+		packed:     cfg.K*cfg.CodeBits <= cfg.RangePow,
+	}
+	total := cfg.L * t.numBuckets
+	t.buckets = make([]bucket, total)
+	t.ids = make([]uint32, total*cfg.BucketSize)
+	for i := range t.buckets {
+		t.buckets[i].start = i * cfg.BucketSize
+	}
+	t.insertRNG = make([]*rng.RNG, cfg.L)
+	for i := range t.insertRNG {
+		t.insertRNG[i] = rng.NewStream(cfg.Seed, uint64(i)+0x7ab1e)
+	}
+	return t, nil
+}
+
+// Config returns the (defaulted) configuration of the table set.
+func (t *Table) Config() Config { return t.cfg }
+
+// NumBuckets returns the bucket count per table.
+func (t *Table) NumBuckets() int { return t.numBuckets }
+
+// L returns the number of tables.
+func (t *Table) L() int { return t.cfg.L }
+
+// Address computes the bucket index in table ti for a full code vector
+// (length >= K*L, laid out as L runs of K codes).
+func (t *Table) Address(ti int, codes []uint32) uint32 {
+	k := t.cfg.K
+	run := codes[ti*k : ti*k+k]
+	if t.packed {
+		var a uint32
+		for _, c := range run {
+			a = a<<uint(t.cfg.CodeBits) | c
+		}
+		return a
+	}
+	h := t.cfg.Seed ^ uint64(ti)*0x9e3779b97f4a7c15
+	for _, c := range run {
+		h ^= uint64(c) + 0x9e3779b97f4a7c15 + h<<6 + h>>2
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return uint32(h) & uint32(t.numBuckets-1)
+}
+
+// Insert adds id to every table using its code vector. Not safe for
+// concurrent use with other Inserts on the same table index.
+func (t *Table) Insert(id uint32, codes []uint32) {
+	for ti := 0; ti < t.cfg.L; ti++ {
+		t.InsertInto(ti, id, codes)
+	}
+}
+
+// InsertInto adds id to table ti only. Distinct goroutines may call
+// InsertInto concurrently for distinct ti.
+func (t *Table) InsertInto(ti int, id uint32, codes []uint32) {
+	b := &t.buckets[ti*t.numBuckets+int(t.Address(ti, codes))]
+	b.seen++
+	cap32 := int32(t.cfg.BucketSize)
+	if b.len < cap32 {
+		t.ids[b.start+int(b.len)] = id
+		b.len++
+		return
+	}
+	switch t.cfg.Policy {
+	case PolicyReservoir:
+		// Vitter algorithm R: replace a uniform slot with probability
+		// BucketSize/seen, keeping the bucket a uniform sample of all
+		// insertions.
+		r := t.insertRNG[ti].Intn(int(b.seen))
+		if r < t.cfg.BucketSize {
+			t.ids[b.start+r] = id
+		}
+	case PolicyFIFO:
+		slot := int(b.seen-1) % t.cfg.BucketSize
+		t.ids[b.start+slot] = id
+	}
+}
+
+// Bucket returns the ids stored in the bucket of table ti addressed by the
+// code vector. The returned slice aliases internal storage; callers must
+// not mutate or retain it across inserts.
+func (t *Table) Bucket(ti int, codes []uint32) []uint32 {
+	b := &t.buckets[ti*t.numBuckets+int(t.Address(ti, codes))]
+	return t.ids[b.start : b.start+int(b.len)]
+}
+
+// Clear empties all buckets, retaining capacity. The reservoir streams are
+// not reset so rebuilds never repeat replacement decisions.
+func (t *Table) Clear() {
+	for i := range t.buckets {
+		t.buckets[i].len = 0
+		t.buckets[i].seen = 0
+	}
+}
+
+// Stats summarizes table occupancy, for diagnostics and tests.
+type Stats struct {
+	Tables       int
+	BucketsPer   int
+	TotalStored  int     // ids currently stored across all tables
+	TotalSeen    int     // insertions ever attempted
+	NonEmpty     int     // non-empty buckets across all tables
+	MaxBucketLen int     // largest current bucket occupancy
+	AvgBucketLen float64 // mean occupancy over non-empty buckets
+}
+
+// Stats computes occupancy statistics.
+func (t *Table) Stats() Stats {
+	s := Stats{Tables: t.cfg.L, BucketsPer: t.numBuckets}
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		s.TotalStored += int(b.len)
+		s.TotalSeen += int(b.seen)
+		if b.len > 0 {
+			s.NonEmpty++
+			if int(b.len) > s.MaxBucketLen {
+				s.MaxBucketLen = int(b.len)
+			}
+		}
+	}
+	if s.NonEmpty > 0 {
+		s.AvgBucketLen = float64(s.TotalStored) / float64(s.NonEmpty)
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package hashtable
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mkTable(t testing.TB, cfg Config) *Table {
+	t.Helper()
+	tbl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randCodes(r *rng.RNG, k, l, bits int) []uint32 {
+	codes := make([]uint32, k*l)
+	for i := range codes {
+		codes[i] = uint32(r.Intn(1 << bits))
+	}
+	return codes
+}
+
+func TestInsertQueryRoundTrip(t *testing.T) {
+	tbl := mkTable(t, Config{K: 3, L: 4, CodeBits: 2, Seed: 1})
+	r := rng.New(7)
+	codes := randCodes(r, 3, 4, 2)
+	tbl.Insert(42, codes)
+	for ti := 0; ti < 4; ti++ {
+		found := false
+		for _, id := range tbl.Bucket(ti, codes) {
+			if id == 42 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("id missing from table %d after Insert", ti)
+		}
+	}
+}
+
+func TestAddressDeterministicAndInRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tbl, err := New(Config{K: 4, L: 3, CodeBits: 3, RangePow: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		codes := randCodes(r, 4, 3, 3)
+		for ti := 0; ti < 3; ti++ {
+			a := tbl.Address(ti, codes)
+			if a != tbl.Address(ti, codes) {
+				return false
+			}
+			if int(a) >= tbl.NumBuckets() {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedAddressing(t *testing.T) {
+	// K*CodeBits = 6 <= RangePow: direct concatenation.
+	tbl := mkTable(t, Config{K: 3, L: 1, CodeBits: 2, RangePow: 6, Seed: 1})
+	codes := []uint32{0b01, 0b10, 0b11}
+	if got := tbl.Address(0, codes); got != 0b011011 {
+		t.Fatalf("packed address = %b, want 011011", got)
+	}
+}
+
+func TestBucketCapacityLimit(t *testing.T) {
+	tbl := mkTable(t, Config{K: 1, L: 1, CodeBits: 1, BucketSize: 8, Seed: 1})
+	codes := []uint32{1}
+	for id := uint32(0); id < 100; id++ {
+		tbl.Insert(id, codes)
+	}
+	if got := len(tbl.Bucket(0, codes)); got != 8 {
+		t.Fatalf("bucket holds %d ids, capacity is 8", got)
+	}
+	st := tbl.Stats()
+	if st.TotalSeen != 100 || st.TotalStored != 8 || st.MaxBucketLen != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFIFOReplacement(t *testing.T) {
+	tbl := mkTable(t, Config{K: 1, L: 1, CodeBits: 1, BucketSize: 4, Policy: PolicyFIFO, Seed: 1})
+	codes := []uint32{0}
+	for id := uint32(0); id < 10; id++ {
+		tbl.Insert(id, codes)
+	}
+	// Ring buffer after 10 inserts with cap 4: slots hold 8, 9, 6, 7.
+	got := tbl.Bucket(0, codes)
+	want := map[uint32]bool{6: true, 7: true, 8: true, 9: true}
+	if len(got) != 4 {
+		t.Fatalf("bucket len %d", len(got))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("FIFO kept %v, want the 4 most recent {6,7,8,9}", got)
+		}
+	}
+}
+
+// TestReservoirUniformity: after N ≫ cap insertions, every inserted id
+// should survive with probability cap/N (Vitter's algorithm R invariant).
+func TestReservoirUniformity(t *testing.T) {
+	const capSize, n, trials = 8, 64, 3000
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		tbl := mkTable(t, Config{K: 1, L: 1, CodeBits: 1, BucketSize: capSize, Policy: PolicyReservoir, Seed: uint64(trial + 1)})
+		codes := []uint32{0}
+		for id := uint32(0); id < n; id++ {
+			tbl.Insert(id, codes)
+		}
+		for _, id := range tbl.Bucket(0, codes) {
+			counts[id]++
+		}
+	}
+	want := float64(trials) * capSize / n
+	for id, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("id %d survived %d times, want ~%.0f", id, c, want)
+		}
+	}
+}
+
+func TestClearEmptiesBuckets(t *testing.T) {
+	tbl := mkTable(t, Config{K: 2, L: 3, CodeBits: 2, Seed: 9})
+	r := rng.New(1)
+	for id := uint32(0); id < 50; id++ {
+		tbl.Insert(id, randCodes(r, 2, 3, 2))
+	}
+	tbl.Clear()
+	st := tbl.Stats()
+	if st.TotalStored != 0 || st.NonEmpty != 0 || st.TotalSeen != 0 {
+		t.Fatalf("Clear left state: %+v", st)
+	}
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	const n, k, l, bits = 500, 3, 5, 2
+	r := rng.New(3)
+	codes := make([]uint32, n*k*l)
+	for i := range codes {
+		codes[i] = uint32(r.Intn(1 << bits))
+	}
+	serial := mkTable(t, Config{K: k, L: l, CodeBits: bits, Policy: PolicyFIFO, Seed: 5})
+	for id := 0; id < n; id++ {
+		serial.Insert(uint32(id), codes[id*k*l:(id+1)*k*l])
+	}
+	par := mkTable(t, Config{K: k, L: l, CodeBits: bits, Policy: PolicyFIFO, Seed: 5})
+	par.BuildParallel(n, codes, k*l, 4)
+	// Per-table insertion order is identical, so contents must match
+	// bucket for bucket.
+	for id := 0; id < n; id++ {
+		cs := codes[id*k*l : (id+1)*k*l]
+		for ti := 0; ti < l; ti++ {
+			a := serial.Bucket(ti, cs)
+			b := par.Bucket(ti, cs)
+			if len(a) != len(b) {
+				t.Fatalf("table %d bucket sizes differ: %d vs %d", ti, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("table %d bucket contents differ", ti)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0, L: 1, CodeBits: 1},
+		{K: 1, L: 0, CodeBits: 1},
+		{K: 1, L: 1, CodeBits: 0},
+		{K: 1, L: 1, CodeBits: 33},
+		{K: 1, L: 1, CodeBits: 1, RangePow: 29},
+		{K: 1, L: 1, CodeBits: 1, BucketSize: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDefaultRangePow(t *testing.T) {
+	tbl := mkTable(t, Config{K: 9, L: 1, CodeBits: 1, Seed: 1})
+	if tbl.NumBuckets() != 1<<9 {
+		t.Fatalf("K=9 1-bit codes should give 512 buckets, got %d", tbl.NumBuckets())
+	}
+	// Wide codes cap at DefaultRangePowCap.
+	tbl = mkTable(t, Config{K: 8, L: 1, CodeBits: 8, Seed: 1})
+	if tbl.NumBuckets() != 1<<DefaultRangePowCap {
+		t.Fatalf("wide codes should cap at 2^%d buckets, got %d", DefaultRangePowCap, tbl.NumBuckets())
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyReservoir, PolicyFIFO} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}
+
+func TestMixedAddressingSpreads(t *testing.T) {
+	// K*CodeBits (24) > RangePow (10): mixed addressing must spread ids
+	// across many buckets, not collapse them.
+	tbl := mkTable(t, Config{K: 8, L: 1, CodeBits: 3, RangePow: 10, Seed: 2})
+	r := rng.New(11)
+	seen := map[uint32]bool{}
+	for i := 0; i < 500; i++ {
+		seen[tbl.Address(0, randCodes(r, 8, 1, 3))] = true
+	}
+	if len(seen) < 300 {
+		t.Fatalf("mixed addressing hit only %d distinct buckets in 500 draws", len(seen))
+	}
+}

@@ -1,0 +1,177 @@
+package lsh
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// simhash implements signed random projection (SRP) for cosine similarity
+// (§3.2). Each hash function is a sparse random vector with entries in
+// {+1, -1} on a random support of size density*Dim; the code is the sign
+// bit of the projection. Using only additions/subtractions (no multiplies)
+// and a sparse support reproduces the paper's two Simhash optimizations.
+//
+// The collision probability of two vectors x, y under one function is
+// 1 - angle(x,y)/pi, monotone in cosine similarity.
+type simhash struct {
+	dim      int
+	numFuncs int
+	// support[f] lists the coordinates in function f's random support,
+	// ascending; signPos[f] marks which of them carry +1.
+	support [][]int32
+	signPos [][]bool
+	// coordFns is the inverted layout used by HashSparse: for each input
+	// coordinate, the (function, sign) pairs whose support contains it.
+	// With nnz non-zeros a sparse hash costs O(nnz * numFuncs * density)
+	// lookups, matching the paper's cost analysis.
+	coordFns [][]funcSign
+}
+
+type funcSign struct {
+	fn  int32
+	neg bool
+}
+
+func newSimhash(p Params) (*simhash, error) {
+	nf := p.K * p.L
+	supLen := int(float64(p.Dim) * p.SimhashDensity)
+	if supLen < 1 {
+		supLen = 1
+	}
+	if supLen > p.Dim {
+		supLen = p.Dim
+	}
+	s := &simhash{
+		dim:      p.Dim,
+		numFuncs: nf,
+		support:  make([][]int32, nf),
+		signPos:  make([][]bool, nf),
+		coordFns: make([][]funcSign, p.Dim),
+	}
+	r := rng.NewStream(p.Seed, 0x51)
+	for f := 0; f < nf; f++ {
+		idx := r.SampleK(p.Dim, supLen)
+		sup := make([]int32, supLen)
+		sgn := make([]bool, supLen)
+		for j, i := range idx {
+			sup[j] = int32(i)
+			pos := r.Bernoulli(0.5)
+			sgn[j] = pos
+			s.coordFns[i] = append(s.coordFns[i], funcSign{fn: int32(f), neg: !pos})
+		}
+		s.support[f] = sup
+		s.signPos[f] = sgn
+	}
+	return s, nil
+}
+
+// IncrementalSimhash exposes the Simhash implementation's memoized
+// projection API (§4.2 incremental re-hash): ProjectAll, ProjectDelta and
+// CodesFromProjections. Obtain one by type-asserting a Family built with
+// KindSimhash.
+type IncrementalSimhash = simhash
+
+func (s *simhash) Name() string  { return "simhash" }
+func (s *simhash) NumFuncs() int { return s.numFuncs }
+func (s *simhash) CodeBits() int { return 1 }
+func (s *simhash) Dim() int      { return s.dim }
+
+func (s *simhash) HashDense(x []float32, out []uint32) {
+	if len(x) != s.dim {
+		panic("lsh: simhash dense input dimension mismatch")
+	}
+	for f := 0; f < s.numFuncs; f++ {
+		var acc float32
+		sup := s.support[f]
+		sgn := s.signPos[f]
+		for j, i := range sup {
+			if sgn[j] {
+				acc += x[i]
+			} else {
+				acc -= x[i]
+			}
+		}
+		out[f] = signBit(acc)
+	}
+}
+
+func (s *simhash) HashSparse(x sparse.Vector, out []uint32) {
+	if x.Dim != s.dim {
+		panic("lsh: simhash sparse input dimension mismatch")
+	}
+	acc := make([]float32, s.numFuncs)
+	for j, i := range x.Idx {
+		v := x.Val[j]
+		for _, fs := range s.coordFns[i] {
+			if fs.neg {
+				acc[fs.fn] -= v
+			} else {
+				acc[fs.fn] += v
+			}
+		}
+	}
+	for f, a := range acc {
+		out[f] = signBit(a)
+	}
+}
+
+// signBit maps a projection value to the hash code: 1 for non-negative,
+// 0 for negative. Exact zeros (e.g. zero inputs) land on 1 consistently in
+// both dense and sparse paths.
+func signBit(a float32) uint32 {
+	if a >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Project returns the raw projection value of dense vector x under hash
+// function f. It exposes the quantity the incremental re-hash trick (§4.2
+// item 3) memoizes: when x changes in d' of d coordinates the new
+// projection is recoverable with O(d') additions via ProjectDelta.
+func (s *simhash) Project(x []float32, f int) float32 {
+	var acc float32
+	sup := s.support[f]
+	sgn := s.signPos[f]
+	for j, i := range sup {
+		if sgn[j] {
+			acc += x[i]
+		} else {
+			acc -= x[i]
+		}
+	}
+	return acc
+}
+
+// ProjectAll writes the raw projection values of dense vector x under all
+// hash functions into proj (len >= NumFuncs). Codes are signBit(proj[f]).
+func (s *simhash) ProjectAll(x []float32, proj []float32) {
+	for f := 0; f < s.numFuncs; f++ {
+		proj[f] = s.Project(x, f)
+	}
+}
+
+// ProjectDelta updates memoized projection values in place after the input
+// changed by the given sparse delta: proj[f] += <proj-vector_f, delta> for
+// every function. This is the §4.2 incremental re-hash trick: with d'
+// changed coordinates it costs O(d' * NumFuncs * density) additions instead
+// of a full O(Dim * NumFuncs * density) re-projection.
+func (s *simhash) ProjectDelta(proj []float32, deltaIdx []int32, deltaVal []float32) {
+	for j, i := range deltaIdx {
+		v := deltaVal[j]
+		for _, fs := range s.coordFns[i] {
+			if fs.neg {
+				proj[fs.fn] -= v
+			} else {
+				proj[fs.fn] += v
+			}
+		}
+	}
+}
+
+// CodesFromProjections converts memoized projection values to hash codes.
+func (s *simhash) CodesFromProjections(proj []float32, out []uint32) {
+	for f := 0; f < s.numFuncs; f++ {
+		out[f] = signBit(proj[f])
+	}
+}

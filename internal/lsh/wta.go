@@ -1,0 +1,261 @@
+package lsh
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// permSet is the shared permutation machinery of WTA and DWTA (App. A).
+// Following the paper's memory optimization, only ceil(K*L*m/d) random
+// permutations are generated instead of K*L: each permutation of [0, dim)
+// is split into floor(dim/m) bins of m consecutive permuted coordinates and
+// every bin supplies one hash function. Function f is bin f%binsPerPerm of
+// permutation f/binsPerPerm; its code is the within-bin position (in
+// [0, m)) of the maximum input coordinate mapped into the bin.
+type permSet struct {
+	dim         int
+	numFuncs    int
+	binSize     int
+	binsPerPerm int
+	// perm[p][pos] is the coordinate at permuted position pos.
+	perm [][]int32
+	// invPerm[p][coord] is the permuted position of coordinate coord.
+	invPerm [][]int32
+}
+
+func newPermSet(p Params) *permSet {
+	m := p.BinSize
+	if m > p.Dim {
+		m = p.Dim
+	}
+	nf := p.K * p.L
+	bpp := p.Dim / m
+	if bpp < 1 {
+		bpp = 1
+	}
+	numPerms := (nf + bpp - 1) / bpp
+	ps := &permSet{
+		dim:         p.Dim,
+		numFuncs:    nf,
+		binSize:     m,
+		binsPerPerm: bpp,
+		perm:        make([][]int32, numPerms),
+		invPerm:     make([][]int32, numPerms),
+	}
+	r := rng.NewStream(p.Seed, 0x57a)
+	for pi := range ps.perm {
+		fwd := make([]int32, p.Dim)
+		inv := make([]int32, p.Dim)
+		for i := range fwd {
+			fwd[i] = int32(i)
+		}
+		r.Shuffle(len(fwd), func(a, b int) { fwd[a], fwd[b] = fwd[b], fwd[a] })
+		for pos, coord := range fwd {
+			inv[coord] = int32(pos)
+		}
+		ps.perm[pi] = fwd
+		ps.invPerm[pi] = inv
+	}
+	return ps
+}
+
+// codeBits returns the bits needed to express codes in [0, binSize).
+func (ps *permSet) codeBits() int {
+	b := 1
+	for 1<<b < ps.binSize {
+		b++
+	}
+	return b
+}
+
+// wta is winner-take-all hashing (Yagnik et al. 2011) over dense inputs:
+// the code of each function is the position of the maximum among the m
+// coordinates of its bin, with zeros participating like any value.
+// For sparse data prefer DWTA; WTA's sparse path materializes a dense
+// scratch copy, exactly the inefficiency DWTA removes (App. A).
+type wta struct {
+	ps      *permSet
+	scratch sync.Pool
+}
+
+func newWTA(p Params) (*wta, error) {
+	w := &wta{ps: newPermSet(p)}
+	dim := p.Dim
+	w.scratch.New = func() any {
+		s := make([]float32, dim)
+		return &s
+	}
+	return w, nil
+}
+
+func (w *wta) Name() string  { return "wta" }
+func (w *wta) NumFuncs() int { return w.ps.numFuncs }
+func (w *wta) CodeBits() int { return w.ps.codeBits() }
+func (w *wta) Dim() int      { return w.ps.dim }
+
+func (w *wta) HashDense(x []float32, out []uint32) {
+	if len(x) != w.ps.dim {
+		panic("lsh: wta dense input dimension mismatch")
+	}
+	ps := w.ps
+	for f := 0; f < ps.numFuncs; f++ {
+		p := f / ps.binsPerPerm
+		base := (f % ps.binsPerPerm) * ps.binSize
+		perm := ps.perm[p]
+		best := x[perm[base]]
+		bestJ := 0
+		for j := 1; j < ps.binSize; j++ {
+			if v := x[perm[base+j]]; v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[f] = uint32(bestJ)
+	}
+}
+
+func (w *wta) HashSparse(x sparse.Vector, out []uint32) {
+	if x.Dim != w.ps.dim {
+		panic("lsh: wta sparse input dimension mismatch")
+	}
+	sp := w.scratch.Get().(*[]float32)
+	d := *sp
+	for j, i := range x.Idx {
+		d[i] = x.Val[j]
+	}
+	w.HashDense(d, out)
+	for _, i := range x.Idx {
+		d[i] = 0
+	}
+	w.scratch.Put(sp)
+}
+
+// dwta is densified winner-take-all hashing (Chen & Shrivastava 2018):
+// WTA evaluated only over the non-zero coordinates of the input, in
+// O(NNZ * K*L*m/dim) comparisons, with empty bins filled by borrowing the
+// code of a pseudo-randomly probed non-empty bin (the densification
+// scheme). Both the dense and sparse paths operate on the non-zero support
+// so they always agree.
+type dwta struct {
+	ps      *permSet
+	seed    uint64
+	scratch sync.Pool
+}
+
+// dwtaScratch holds per-call accumulation state, pooled across goroutines.
+type dwtaScratch struct {
+	maxVal []float32
+	code   []uint32
+	filled []bool
+}
+
+func newDWTA(p Params) (*dwta, error) {
+	d := &dwta{ps: newPermSet(p), seed: p.Seed}
+	nf := d.ps.numFuncs
+	d.scratch.New = func() any {
+		return &dwtaScratch{
+			maxVal: make([]float32, nf),
+			code:   make([]uint32, nf),
+			filled: make([]bool, nf),
+		}
+	}
+	return d, nil
+}
+
+func (d *dwta) Name() string  { return "dwta" }
+func (d *dwta) NumFuncs() int { return d.ps.numFuncs }
+func (d *dwta) CodeBits() int { return d.ps.codeBits() }
+func (d *dwta) Dim() int      { return d.ps.dim }
+
+func (d *dwta) HashDense(x []float32, out []uint32) {
+	if len(x) != d.ps.dim {
+		panic("lsh: dwta dense input dimension mismatch")
+	}
+	sc := d.scratch.Get().(*dwtaScratch)
+	d.reset(sc)
+	for i, v := range x {
+		if v != 0 {
+			d.accumulate(sc, int32(i), v)
+		}
+	}
+	d.finish(sc, out)
+	d.scratch.Put(sc)
+}
+
+func (d *dwta) HashSparse(x sparse.Vector, out []uint32) {
+	if x.Dim != d.ps.dim {
+		panic("lsh: dwta sparse input dimension mismatch")
+	}
+	sc := d.scratch.Get().(*dwtaScratch)
+	d.reset(sc)
+	for j, i := range x.Idx {
+		if x.Val[j] != 0 {
+			d.accumulate(sc, i, x.Val[j])
+		}
+	}
+	d.finish(sc, out)
+	d.scratch.Put(sc)
+}
+
+func (d *dwta) reset(sc *dwtaScratch) {
+	for i := range sc.filled {
+		sc.filled[i] = false
+	}
+}
+
+// accumulate folds one non-zero coordinate into every permutation's bin.
+// Ties prefer the lower within-bin position, which is deterministic
+// regardless of coordinate visit order.
+func (d *dwta) accumulate(sc *dwtaScratch, coord int32, v float32) {
+	ps := d.ps
+	for p := range ps.invPerm {
+		pos := int(ps.invPerm[p][coord])
+		b := pos / ps.binSize
+		if b >= ps.binsPerPerm {
+			continue // coordinate fell in the unused tail of this permutation
+		}
+		f := p*ps.binsPerPerm + b
+		if f >= ps.numFuncs {
+			continue
+		}
+		j := uint32(pos % ps.binSize)
+		switch {
+		case !sc.filled[f]:
+			sc.filled[f] = true
+			sc.maxVal[f] = v
+			sc.code[f] = j
+		case v > sc.maxVal[f] || (v == sc.maxVal[f] && j < sc.code[f]):
+			sc.maxVal[f] = v
+			sc.code[f] = j
+		}
+	}
+}
+
+// maxDensifyAttempts bounds the pseudo-random probe sequence used to fill
+// an empty bin from a non-empty one.
+const maxDensifyAttempts = 100
+
+func (d *dwta) finish(sc *dwtaScratch, out []uint32) {
+	nf := d.ps.numFuncs
+	for f := 0; f < nf; f++ {
+		if sc.filled[f] {
+			out[f] = sc.code[f]
+			continue
+		}
+		out[f] = densify(d.seed, f, nf, sc.filled, sc.code)
+	}
+}
+
+// densify walks the deterministic probe sequence for empty function f and
+// returns the code of the first non-empty donor, or 0 if every probe fails
+// (e.g. the all-zero input).
+func densify(seed uint64, f, nf int, filled []bool, code []uint32) uint32 {
+	for a := 1; a <= maxDensifyAttempts; a++ {
+		donor := int(mix64(seed^uint64(f)*0x9e3779b97f4a7c15+uint64(a)) % uint64(nf))
+		if filled[donor] {
+			return code[donor]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+// Package profiler supplies the hardware-independent stand-ins for the
+// paper's Intel VTune pipeline analysis (§5, Table 2, Fig. 6).
+//
+// VTune attributes CPU pipeline slots to front-end / memory / retiring /
+// core-bound stalls. Pure Go cannot read those counters, so this package
+// exposes the two measurable quantities that carry the paper's claims:
+//
+//   - Core utilization (Table 2): worker busy time over wall time — SLIDE
+//     stays ~80%+ across thread counts while the dense baseline degrades.
+//   - Memory-boundedness proxy (Fig. 6): the achieved arithmetic rate of a
+//     workload at a given thread count divided by the machine's measured
+//     compute-bound peak at the same thread count. The shortfall
+//     (1 - ratio) is the fraction of potential issue slots lost to memory
+//     stalls and scheduling, the analog of VTune's memory-bound share.
+//
+// The compute peak comes from CalibratePeak: a register-resident FMA loop
+// with no memory traffic beyond L1, replicated per worker.
+package profiler
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BusyMeter accumulates per-worker busy time for utilization accounting.
+type BusyMeter struct {
+	busy []int64
+}
+
+// NewBusyMeter returns a meter for the given worker count.
+func NewBusyMeter(workers int) *BusyMeter {
+	return &BusyMeter{busy: make([]int64, workers)}
+}
+
+// Add records ns of busy time for worker w.
+func (m *BusyMeter) Add(w int, ns int64) { m.busy[w] += ns }
+
+// Utilization returns total busy time over wall*workers, clamped to [0,1].
+func (m *BusyMeter) Utilization(wall time.Duration) float64 {
+	if wall <= 0 || len(m.busy) == 0 {
+		return 0
+	}
+	var total int64
+	for _, b := range m.busy {
+		total += b
+	}
+	u := float64(total) / (float64(wall.Nanoseconds()) * float64(len(m.busy)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// CalibratePeak measures the machine's compute-bound float32 FLOP/s at the
+// given thread count: each worker runs an unrolled 8-accumulator
+// multiply-add loop over a 4KB (L1-resident) buffer for roughly dur.
+// The result is the denominator of the Fig. 6 memory-boundedness proxy.
+func CalibratePeak(threads int, dur time.Duration) float64 {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if dur <= 0 {
+		dur = 50 * time.Millisecond
+	}
+	flops := make([]float64, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			flops[w] = fmaLoop(dur)
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, f := range flops {
+		total += f
+	}
+	return total
+}
+
+// fmaLoop runs multiply-adds over an L1-resident buffer and returns the
+// achieved FLOP/s for this goroutine.
+func fmaLoop(dur time.Duration) float64 {
+	const n = 1024 // 4KB of float32: L1-resident
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = 1 + float32(i)*1e-6
+	}
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32 = 1, 1, 1, 1, 1, 1, 1, 1
+	c := float32(1.0000001)
+	start := time.Now()
+	var ops float64
+	for time.Since(start) < dur {
+		for i := 0; i < n; i += 8 {
+			s0 = s0*c + buf[i]
+			s1 = s1*c + buf[i+1]
+			s2 = s2*c + buf[i+2]
+			s3 = s3*c + buf[i+3]
+			s4 = s4*c + buf[i+4]
+			s5 = s5*c + buf[i+5]
+			s6 = s6*c + buf[i+6]
+			s7 = s7*c + buf[i+7]
+		}
+		ops += 2 * n // one mul + one add per element
+	}
+	sink = s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return ops / elapsed
+}
+
+// sink defeats dead-code elimination of the calibration loop.
+var sink float32
+
+// Inefficiency is the Fig. 6 analog for one workload at one thread count.
+type Inefficiency struct {
+	Threads     int
+	Utilization float64 // worker busy fraction (Table 2)
+	AchievedGF  float64 // useful GFLOP/s achieved by the workload
+	PeakGF      float64 // calibrated compute-bound GFLOP/s at this thread count
+	// MemoryBound is the stall proxy: the busy-time fraction not
+	// converted into arithmetic, 1 - achieved/peak (clamped to [0,1]).
+	MemoryBound float64
+	// IdleBound is the wall-time fraction workers spent not busy
+	// (scheduling / synchronization), 1 - Utilization.
+	IdleBound float64
+}
+
+// Analyze combines a workload measurement with a calibration run.
+func Analyze(threads int, utilization, achievedFLOPS, peakFLOPS float64) Inefficiency {
+	in := Inefficiency{
+		Threads:     threads,
+		Utilization: utilization,
+		AchievedGF:  achievedFLOPS / 1e9,
+		PeakGF:      peakFLOPS / 1e9,
+		IdleBound:   clamp01(1 - utilization),
+	}
+	if peakFLOPS > 0 {
+		in.MemoryBound = clamp01(1 - achievedFLOPS/peakFLOPS)
+	}
+	return in
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// MemStats snapshots the allocation counters the Table 4 experiment
+// reports (the hugepage-analog metrics).
+type MemStats struct {
+	HeapObjects uint64
+	HeapBytes   uint64
+	TotalAllocs uint64
+	GCCycles    uint32
+}
+
+// ReadMemStats captures current allocator state after forcing a GC so
+// object counts reflect live data.
+func ReadMemStats() MemStats {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemStats{
+		HeapObjects: m.HeapObjects,
+		HeapBytes:   m.HeapAlloc,
+		TotalAllocs: m.Mallocs,
+		GCCycles:    m.NumGC,
+	}
+}
+
+// Delta returns counter differences (b - a) for before/after comparisons.
+func (a MemStats) Delta(b MemStats) MemStats {
+	return MemStats{
+		HeapObjects: b.HeapObjects - a.HeapObjects,
+		HeapBytes:   b.HeapBytes - a.HeapBytes,
+		TotalAllocs: b.TotalAllocs - a.TotalAllocs,
+		GCCycles:    b.GCCycles - a.GCCycles,
+	}
+}

@@ -1,0 +1,70 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBusyMeterUtilization(t *testing.T) {
+	m := NewBusyMeter(4)
+	m.Add(0, int64(time.Second))
+	m.Add(1, int64(time.Second))
+	// 2 of 4 workers busy for the full second.
+	if u := m.Utilization(time.Second); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	// Clamped to 1 even if busy exceeds wall (timer skew).
+	m.Add(2, int64(10*time.Second))
+	if u := m.Utilization(time.Second); u != 1 {
+		t.Fatalf("utilization = %v, want clamp to 1", u)
+	}
+	if u := m.Utilization(0); u != 0 {
+		t.Fatalf("zero wall = %v", u)
+	}
+}
+
+func TestCalibratePeakPositiveAndScales(t *testing.T) {
+	p1 := CalibratePeak(1, 30*time.Millisecond)
+	if p1 <= 0 {
+		t.Fatalf("peak = %v", p1)
+	}
+	p2 := CalibratePeak(2, 30*time.Millisecond)
+	// Two threads should achieve clearly more than one (compute-bound
+	// loop, no shared data).
+	if p2 < 1.3*p1 {
+		t.Fatalf("peak did not scale: 1 thread %v, 2 threads %v", p1, p2)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	in := Analyze(8, 0.8, 2e9, 8e9)
+	if in.MemoryBound != 0.75 {
+		t.Fatalf("memory bound = %v, want 0.75", in.MemoryBound)
+	}
+	if diff := in.IdleBound - 0.2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("idle bound = %v", in.IdleBound)
+	}
+	// Clamped to [0, 1].
+	in = Analyze(8, 1.5, 2e9, 1e9)
+	if in.MemoryBound != 0 || in.IdleBound != 0 {
+		t.Fatalf("clamping failed: %+v", in)
+	}
+	in = Analyze(8, 0.5, 1e9, 0)
+	if in.MemoryBound != 0 {
+		t.Fatalf("zero peak should give 0 proxy: %+v", in)
+	}
+}
+
+func TestMemStatsDelta(t *testing.T) {
+	before := ReadMemStats()
+	sink := make([][]byte, 1000)
+	for i := range sink {
+		sink[i] = make([]byte, 1024)
+	}
+	after := ReadMemStats()
+	d := before.Delta(after)
+	if d.TotalAllocs == 0 {
+		t.Fatal("allocations not observed")
+	}
+	_ = sink[999][0]
+}

@@ -1,0 +1,190 @@
+// Package rng provides small, fast, deterministic random number generators
+// for the SLIDE reproduction.
+//
+// Every stochastic component in the repository (weight initialization, LSH
+// function generation, dataset synthesis, sampling strategies) draws from an
+// explicitly seeded generator so that experiments are reproducible run to
+// run. The generator is a PCG-XSH-RR 64/32 stream: 64-bit LCG state advanced
+// per draw, 32 output bits per step, with an odd stream increment so that
+// independent components can derive non-overlapping streams from a shared
+// base seed via Split.
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+const (
+	pcgMult = 6364136223846793005
+	pcgInc  = 1442695040888963407
+)
+
+// RNG is a PCG-XSH-RR 64/32 pseudo random number generator. The zero value
+// is usable but all zero-seeded RNGs produce the same stream; prefer New.
+// RNG is not safe for concurrent use; give each goroutine its own stream
+// via Split.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a generator seeded with seed on the default stream.
+func New(seed uint64) *RNG {
+	return NewStream(seed, pcgInc)
+}
+
+// NewStream returns a generator seeded with seed on the stream selected by
+// stream. Distinct stream values yield statistically independent sequences
+// even for equal seeds.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = r.inc + seed
+	r.Uint32()
+	return r
+}
+
+// Split derives a new independent generator from r. The child's seed and
+// stream are drawn from r, so successive Split calls return generators with
+// distinct streams. Splitting advances r.
+func (r *RNG) Split() *RNG {
+	seed := uint64(r.Uint32())<<32 | uint64(r.Uint32())
+	stream := uint64(r.Uint32())<<32 | uint64(r.Uint32())
+	return NewStream(seed, stream)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless bounded rejection is used to avoid modulo
+// bias while keeping the hot path to one multiplication.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn bound must be positive")
+	}
+	bound := uint32(n)
+	m := uint64(r.Uint32()) * uint64(bound)
+	low := uint32(m)
+	if low < bound {
+		threshold := -bound % bound
+		for low < threshold {
+			m = uint64(r.Uint32()) * uint64(bound)
+			low = uint32(m)
+		}
+	}
+	return int(m >> 32)
+}
+
+// Int63n returns a uniform integer in [0, n) for large n. It panics if
+// n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n bound must be positive")
+	}
+	maxv := uint64(1)<<63 - 1
+	limit := maxv - maxv%uint64(n)
+	for {
+		v := r.Uint64() >> 1
+		if v < limit {
+			return int64(v % uint64(n))
+		}
+	}
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint32()>>8) * (1.0 / (1 << 24))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat32 returns a standard normal variate computed with the
+// Marsaglia polar method.
+func (r *RNG) NormFloat32() float32 {
+	return float32(r.NormFloat64())
+}
+
+// NormFloat64 returns a standard normal variate computed with the
+// Marsaglia polar method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap, per Fisher-Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// SampleK draws k distinct integers from [0, n) uniformly at random in
+// ascending order. It panics if k > n or either argument is negative.
+// For small k relative to n it uses Floyd's algorithm; otherwise it shuffles.
+func (r *RNG) SampleK(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("rng: SampleK requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 >= n {
+		p := r.Perm(n)[:k]
+		sort.Ints(p)
+		return p
+	}
+	chosen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	out := make([]int, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

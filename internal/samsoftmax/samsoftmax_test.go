@@ -1,0 +1,88 @@
+package samsoftmax
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func tinyDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Profile{
+		Name: "t", FeatureDim: 256, NumClasses: 128,
+		TrainSize: 1500, TestSize: 300,
+		AvgFeatures: 15, AvgLabels: 2, ProtoNNZ: 10,
+		NoiseFrac: 0.1, LabelSkew: 1.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{InputDim: 10, Classes: 10, Samples: 0}); err == nil {
+		t.Error("zero Samples accepted")
+	}
+	if _, err := New(Config{InputDim: 10, Classes: 10, Samples: 20}); err == nil {
+		t.Error("Samples > Classes accepted")
+	}
+}
+
+func TestSampledSoftmaxLearnsButBelowFullBudget(t *testing.T) {
+	ds := tinyDS(t)
+	res, err := Train(Config{
+		InputDim: 256, Hidden: []int{32}, Classes: 128, Samples: 12, Seed: 3,
+	}, ds.Train, ds.Test, core.TrainConfig{Epochs: 5, EvalEvery: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc <= 2.0/128 {
+		t.Fatalf("sampled softmax did not learn: P@1 = %.3f", res.FinalAcc)
+	}
+	// The candidate count per example must hover near Samples+labels:
+	// static sampling ignores the input entirely.
+	if res.MeanActive[1] < 10 || res.MeanActive[1] > 20 {
+		t.Fatalf("mean active %v, want ≈ Samples(12)+labels(2)", res.MeanActive[1])
+	}
+}
+
+// TestStaticBudgetTradeoff reproduces the paper's §5.1 observation in
+// miniature: at a matched small candidate budget, adaptive LSH sampling
+// reaches higher accuracy than static uniform sampling.
+func TestStaticBudgetTradeoff(t *testing.T) {
+	ds := tinyDS(t)
+	const budget = 12
+
+	ssm, err := Train(Config{
+		InputDim: 256, Hidden: []int{32}, Classes: 128, Samples: budget, Seed: 3,
+	}, ds.Train, ds.Test, core.TrainConfig{Epochs: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adaptive, err := core.NewNetwork(core.Config{
+		InputDim: 256,
+		Seed:     3,
+		Layers: []core.LayerConfig{
+			{Size: 32, Activation: core.ActReLU},
+			{
+				Size: 128, Activation: core.ActSoftmax,
+				Sampled: true, K: 5, L: 16, Beta: budget,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := adaptive.Train(ds.Train, ds.Test, core.TrainConfig{Epochs: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive P@1=%.3f vs static P@1=%.3f at budget %d", ares.Curve.Best(), ssm.Curve.Best(), budget)
+	if ares.Curve.Best() <= ssm.Curve.Best() {
+		t.Fatalf("adaptive sampling (%.3f) did not beat static sampling (%.3f) at matched budget",
+			ares.Curve.Best(), ssm.Curve.Best())
+	}
+}

@@ -1,0 +1,245 @@
+// Package sparse defines the sparse vector representation shared by the
+// dataset loaders, LSH hash families and the SLIDE network.
+//
+// A Vector is a parallel (index, value) pair list over a fixed dimension.
+// SLIDE's workloads (extreme classification) have input sparsity well under
+// 0.1%, so everything upstream of the first layer operates on this type and
+// never materializes dense inputs.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector is a sparse float32 vector of dimension Dim with non-zero entries
+// at Idx (strictly increasing) holding values Val. len(Idx) == len(Val).
+type Vector struct {
+	Dim int
+	Idx []int32
+	Val []float32
+}
+
+// New returns a sparse vector over dim copying the given components.
+// Indices are sorted and validated; duplicate indices are summed.
+func New(dim int, idx []int32, val []float32) (Vector, error) {
+	if len(idx) != len(val) {
+		return Vector{}, fmt.Errorf("sparse: %d indices but %d values", len(idx), len(val))
+	}
+	v := Vector{Dim: dim, Idx: append([]int32(nil), idx...), Val: append([]float32(nil), val...)}
+	if err := v.normalizeInPlace(); err != nil {
+		return Vector{}, err
+	}
+	return v, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(dim int, idx []int32, val []float32) Vector {
+	v, err := New(dim, idx, val)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FromDense returns the sparse form of the dense vector d, keeping entries
+// with |d[i]| > 0.
+func FromDense(d []float32) Vector {
+	v := Vector{Dim: len(d)}
+	for i, x := range d {
+		if x != 0 {
+			v.Idx = append(v.Idx, int32(i))
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+func (v *Vector) normalizeInPlace() error {
+	if !sort.SliceIsSorted(v.Idx, func(a, b int) bool { return v.Idx[a] < v.Idx[b] }) {
+		ord := make([]int, len(v.Idx))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool { return v.Idx[ord[a]] < v.Idx[ord[b]] })
+		ni := make([]int32, len(v.Idx))
+		nv := make([]float32, len(v.Val))
+		for k, o := range ord {
+			ni[k], nv[k] = v.Idx[o], v.Val[o]
+		}
+		v.Idx, v.Val = ni, nv
+	}
+	// Merge duplicates and validate the index range.
+	out := 0
+	for i := 0; i < len(v.Idx); i++ {
+		if v.Idx[i] < 0 || int(v.Idx[i]) >= v.Dim {
+			return fmt.Errorf("sparse: index %d out of range [0,%d)", v.Idx[i], v.Dim)
+		}
+		if out > 0 && v.Idx[i] == v.Idx[out-1] {
+			v.Val[out-1] += v.Val[i]
+			continue
+		}
+		v.Idx[out], v.Val[out] = v.Idx[i], v.Val[i]
+		out++
+	}
+	v.Idx, v.Val = v.Idx[:out], v.Val[:out]
+	return nil
+}
+
+// NNZ returns the number of stored non-zero components.
+func (v Vector) NNZ() int { return len(v.Idx) }
+
+// Sparsity returns NNZ/Dim, the fraction of non-zero components.
+func (v Vector) Sparsity() float64 {
+	if v.Dim == 0 {
+		return 0
+	}
+	return float64(v.NNZ()) / float64(v.Dim)
+}
+
+// Dense materializes the vector as a dense slice of length Dim.
+func (v Vector) Dense() []float32 {
+	d := make([]float32, v.Dim)
+	for j, i := range v.Idx {
+		d[i] = v.Val[j]
+	}
+	return d
+}
+
+// Dot returns the inner product with a dense vector w of length >= Dim.
+func (v Vector) Dot(w []float32) float32 {
+	var s float32
+	for j, i := range v.Idx {
+		s += v.Val[j] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	return Vector{
+		Dim: v.Dim,
+		Idx: append([]int32(nil), v.Idx...),
+		Val: append([]float32(nil), v.Val...),
+	}
+}
+
+// TopK returns the indices of the k largest values in the dense vector d
+// (by value, ties broken by lower index), in descending value order.
+// If k >= len(d) all indices are returned. Used by the DOPH binarization
+// front end (App. A) which thresholds the top-k magnitudes to 1.
+func TopK(d []float32, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(d) {
+		k = len(d)
+	}
+	// Bounded min-heap over (value, index); O(n log k) as the paper's
+	// priority-queue implementation (App. A).
+	h := make([]heapItem, 0, k)
+	for i, v := range d {
+		if len(h) < k {
+			h = append(h, heapItem{v, int32(i)})
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if less(heapItem{v, int32(i)}, h[0]) {
+			continue
+		}
+		h[0] = heapItem{v, int32(i)}
+		siftDown(h, 0)
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[b], h[a]) })
+	out := make([]int32, len(h))
+	for i, it := range h {
+		out[i] = it.idx
+	}
+	return out
+}
+
+// TopKSparse returns the indices of the k largest stored values of a
+// sparse vector given as parallel (idx, val) lists, in descending value
+// order with ties broken by lower index. Used by DOPH to binarize inputs
+// over their non-zero support only.
+func TopKSparse(idx []int32, val []float32, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	h := make([]heapItem, 0, k)
+	for j, v := range val {
+		it := heapItem{v, idx[j]}
+		if len(h) < k {
+			h = append(h, it)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if less(it, h[0]) {
+			continue
+		}
+		h[0] = it
+		siftDown(h, 0)
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[b], h[a]) })
+	out := make([]int32, len(h))
+	for i, it := range h {
+		out[i] = it.idx
+	}
+	return out
+}
+
+type heapItem struct {
+	val float32
+	idx int32
+}
+
+// less orders items ascending by value, descending by index, so the heap
+// root is the weakest candidate and low indices win ties.
+func less(a, b heapItem) bool {
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.idx > b.idx
+}
+
+func siftUp(h []heapItem, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []heapItem, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && less(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && less(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

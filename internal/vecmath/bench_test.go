@@ -1,0 +1,85 @@
+package vecmath
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Kernel-level half of the Fig. 10 ablation: the unrolled ("SIMD") kernels
+// against their scalar counterparts on the network's hot shapes (the
+// 128-wide hidden fan-in of the output layer).
+
+var benchSink float32
+
+func benchVecs(n int) ([]float32, []float32) {
+	r := rng.New(1)
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i] = r.NormFloat32()
+		b[i] = r.NormFloat32()
+	}
+	return a, b
+}
+
+func BenchmarkDotScalar128(b *testing.B) {
+	x, y := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += dotScalar(x, y)
+	}
+}
+
+func BenchmarkDotUnrolled128(b *testing.B) {
+	x, y := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += dotUnrolled(x, y)
+	}
+}
+
+func BenchmarkAxpyScalar128(b *testing.B) {
+	x, y := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axpyScalar(0.5, x, y)
+	}
+}
+
+func BenchmarkAxpyUnrolled128(b *testing.B) {
+	x, y := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axpyUnrolled(0.5, x, y)
+	}
+}
+
+func BenchmarkSparseDot64of4096(b *testing.B) {
+	r := rng.New(2)
+	w := make([]float32, 4096)
+	for i := range w {
+		w[i] = r.NormFloat32()
+	}
+	idx := make([]int32, 64)
+	val := make([]float32, 64)
+	for i := range idx {
+		idx[i] = int32(r.Intn(4096))
+		val[i] = r.NormFloat32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += sparseDotUnrolled(idx, val, w)
+	}
+}
+
+func BenchmarkSoftmax1024(b *testing.B) {
+	x, _ := benchVecs(1024)
+	buf := make([]float32, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		Softmax(buf)
+	}
+	benchSink += buf[0]
+}

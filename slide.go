@@ -1,0 +1,112 @@
+// Package slide is a Go implementation of SLIDE (Sub-LInear Deep learning
+// Engine) from "SLIDE: In Defense of Smart Algorithms over Hardware
+// Acceleration for Large-Scale Deep Learning Systems" (Chen et al., MLSys
+// 2020).
+//
+// SLIDE trains large fully connected networks — extreme multi-label
+// classifiers whose wide softmax output layer dominates the compute — by
+// replacing the full forward/backward pass with adaptive sparsity: each
+// layer keeps locality-sensitive hash tables over its neurons' weight
+// vectors, the layer input retrieves a small set of active neurons per
+// example, and only those neurons' activations, gradients and weights are
+// touched. Batch elements run on parallel goroutines with HOGWILD-style
+// asynchronous weight updates.
+//
+// # Quick start
+//
+//	ds, _ := dataset.Generate(dataset.Delicious200K(0.01, 42))   // or load real XC data
+//	net, _ := slide.New(slide.Config{
+//	    InputDim: ds.InputDim,
+//	    Layers: []slide.LayerConfig{
+//	        {Size: 128, Activation: slide.ActReLU},
+//	        {
+//	            Size: ds.NumClasses, Activation: slide.ActSoftmax,
+//	            Sampled: true, Hash: slide.HashSimhash, K: 9, L: 50,
+//	            Strategy: slide.StrategyVanilla, Beta: 1024,
+//	        },
+//	    },
+//	    Seed: 42,
+//	})
+//	res, _ := net.Train(ds.Train, ds.Test, slide.TrainConfig{Epochs: 3})
+//	fmt.Printf("P@1 = %.3f in %.1fs\n", res.FinalAcc, res.Seconds)
+//
+// The subpackages under internal implement the substrates (LSH families,
+// hash tables, sampling strategies, optimizers, baselines, datasets,
+// experiment harness); this package re-exports the stable public surface.
+package slide
+
+import (
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/optim"
+	"repro/internal/sampling"
+)
+
+// Network is a SLIDE network. See core.Network for method documentation.
+type Network = core.Network
+
+// Config configures a network; LayerConfig configures one layer.
+type (
+	Config      = core.Config
+	LayerConfig = core.LayerConfig
+)
+
+// TrainConfig, TrainResult and EvalResult parameterize and report
+// training and evaluation runs.
+type (
+	TrainConfig = core.TrainConfig
+	TrainResult = core.TrainResult
+	EvalResult  = core.EvalResult
+)
+
+// Activation constants for LayerConfig.Activation.
+const (
+	ActReLU    = core.ActReLU
+	ActSoftmax = core.ActSoftmax
+	ActLinear  = core.ActLinear
+)
+
+// Hash family constants for LayerConfig.Hash (§3.2, App. A of the paper).
+const (
+	HashSimhash = lsh.KindSimhash
+	HashWTA     = lsh.KindWTA
+	HashDWTA    = lsh.KindDWTA
+	HashDOPH    = lsh.KindDOPH
+)
+
+// Sampling strategy constants for LayerConfig.Strategy (§4.1).
+const (
+	StrategyVanilla       = sampling.KindVanilla
+	StrategyTopK          = sampling.KindTopK
+	StrategyHardThreshold = sampling.KindHardThreshold
+	StrategyRandom        = sampling.KindRandom
+)
+
+// Bucket insertion policies for LayerConfig.Policy (§4.2).
+const (
+	PolicyReservoir = hashtable.PolicyReservoir
+	PolicyFIFO      = hashtable.PolicyFIFO
+)
+
+// Gradient update modes for Config.UpdateMode (§3.1).
+const (
+	UpdateHogwild   = optim.ModeHogwild
+	UpdateAtomic    = optim.ModeAtomic
+	UpdateBatchSync = optim.ModeBatchSync
+)
+
+// Memory layouts for Config.Layout (§5.4 optimization ablation).
+const (
+	LayoutContiguous = core.LayoutContiguous
+	LayoutPerNeuron  = core.LayoutPerNeuron
+)
+
+// New constructs an initialized SLIDE network: random weights, K×L hash
+// functions per sampled layer, and hash tables populated from the initial
+// weight vectors (Algorithm 1, lines 3-6).
+func New(cfg Config) (*Network, error) { return core.NewNetwork(cfg) }
+
+// NewAdam returns Adam hyperparameters at the given learning rate for
+// Config.Adam.
+func NewAdam(lr float32) optim.Adam { return optim.NewAdam(lr) }
