@@ -1,0 +1,54 @@
+// Package baselines is the public surface of the comparison systems the
+// paper measures SLIDE against: the dense full-softmax CPU trainer (the
+// TF-CPU analog), the simulated V100 GPU timeline, and TensorFlow-style
+// static sampled softmax (§5.1 / Fig. 7).
+//
+// It re-exports repro/internal/{dense,gpusim,samsoftmax} so examples,
+// binaries and external consumers never import internal packages
+// directly.
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dense"
+	"repro/internal/gpusim"
+	"repro/internal/samsoftmax"
+)
+
+// DenseNetwork is the dense full-softmax baseline network.
+type DenseNetwork = dense.Network
+
+// DenseConfig configures the dense baseline.
+type DenseConfig = dense.Config
+
+// DenseTrainConfig parameterizes dense baseline training.
+type DenseTrainConfig = dense.TrainConfig
+
+// DenseTrainResult reports a dense baseline training run.
+type DenseTrainResult = dense.TrainResult
+
+// NewDense constructs an initialized dense full-softmax network.
+func NewDense(cfg DenseConfig) (*DenseNetwork, error) { return dense.New(cfg) }
+
+// GPUModel is a simulated accelerator roofline used to retime dense
+// training curves onto GPU wall-clock (the paper's V100 comparisons).
+type GPUModel = gpusim.Model
+
+// V100 returns the simulated NVIDIA V100 model.
+func V100() GPUModel { return gpusim.V100() }
+
+// SampledSoftmaxConfig configures the static uniform sampled-softmax
+// baseline.
+type SampledSoftmaxConfig = samsoftmax.Config
+
+// NewSampledSoftmax constructs the sampled-softmax baseline as a SLIDE
+// network with a static uniform candidate sampler.
+func NewSampledSoftmax(cfg SampledSoftmaxConfig) (*core.Network, error) {
+	return samsoftmax.New(cfg)
+}
+
+// TrainSampledSoftmax trains the sampled-softmax baseline.
+func TrainSampledSoftmax(cfg SampledSoftmaxConfig, train, test []dataset.Example, tc core.TrainConfig) (*core.TrainResult, error) {
+	return samsoftmax.Train(cfg, train, test, tc)
+}

@@ -17,7 +17,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/harness"
+	"repro/harness"
 )
 
 func main() {

@@ -15,7 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/dataset"
+	"repro/dataset"
 )
 
 func main() {

@@ -1,0 +1,81 @@
+// Command slide-serve serves top-k predictions from a trained SLIDE model
+// over HTTP — the paper's pitch (large-network inference cheap enough for
+// commodity CPUs) turned into a serving front end.
+//
+// It loads a self-describing model written by slide-train -save, builds
+// one shared concurrency-safe Predictor, and micro-batches concurrent
+// requests into Predictor.PredictBatch calls so bursts ride the
+// multi-core fan-out instead of queuing on single-example passes.
+//
+// Usage:
+//
+//	slide-train -profile delicious -scale 0.01 -epochs 4 -save model.slide
+//	slide-serve -model model.slide -addr :8080
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/predict \
+//	  -d '{"indices":[12,345,6789],"values":[1.0,0.5,2.0],"k":5,"sampled":true}'
+//	curl -s localhost:8080/stats
+//
+// Endpoints:
+//
+//	POST /predict  {"indices":[...],"values":[...],"k":5,"sampled":true}
+//	               -> {"ids":[...],"scores":[...],"mode":"sampled","ms":...}
+//	GET  /healthz  model shape and status
+//	GET  /stats    request counts, micro-batch sizes, latency percentiles
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slide-serve: ")
+	var (
+		modelPath   = flag.String("model", "", "self-describing model file written by slide-train -save (required)")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		defaultK    = flag.Int("k", 5, "default top-k when a request omits k")
+		maxK        = flag.Int("max-k", 100, "largest top-k a request may ask for")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch gathering window (0 disables batching)")
+		batchMax    = flag.Int("batch-max", 64, "maximum requests per micro-batch")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("-model is required (train one with: slide-train -save model.slide)")
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := slide.LoadModel(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded model %s: input dim %d, %d layers, %d classes, %d parameters",
+		*modelPath, net.Config().InputDim, net.NumLayers(), net.OutputDim(), net.NumParams())
+
+	srv, err := newServer(net, serverOptions{
+		DefaultK:    *defaultK,
+		MaxK:        *maxK,
+		BatchWindow: *batchWindow,
+		BatchMax:    *batchMax,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	log.Printf("serving on %s (micro-batch window %v, max %d)", *addr, *batchWindow, *batchMax)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// serverOptions configures the serving front end.
+type serverOptions struct {
+	// DefaultK is used when a request omits k; MaxK caps requested k.
+	DefaultK int
+	MaxK     int
+	// BatchWindow is how long the micro-batcher waits to gather
+	// concurrent requests into one PredictBatch call; 0 disables
+	// batching and every request runs its own single-example pass.
+	BatchWindow time.Duration
+	// BatchMax bounds the number of requests per micro-batch.
+	BatchMax int
+}
+
+func (o serverOptions) withDefaults() serverOptions {
+	if o.DefaultK <= 0 {
+		o.DefaultK = 5
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 100
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 64
+	}
+	return o
+}
+
+// server owns one shared Predictor and the micro-batching queue in front
+// of it.
+type server struct {
+	net  *slide.Network
+	pred *slide.Predictor
+	opts serverOptions
+
+	reqCh chan *pendingReq
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	stats statsRecorder
+}
+
+// pendingReq is one /predict request waiting for a micro-batch slot.
+type pendingReq struct {
+	x       slide.Vector
+	k       int
+	sampled bool
+	reply   chan batchReply
+}
+
+type batchReply struct {
+	ids       []int32
+	scores    []float32
+	batchSize int
+	err       error
+}
+
+func newServer(net *slide.Network, opts serverOptions) (*server, error) {
+	pred, err := net.NewPredictor()
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		net:   net,
+		pred:  pred,
+		opts:  opts.withDefaults(),
+		reqCh: make(chan *pendingReq, 4*opts.withDefaults().BatchMax),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.batchLoop()
+	return s, nil
+}
+
+// Close stops the micro-batcher. Requests already queued are served
+// (batchLoop drains the queue before exiting); a request that races past
+// the drain gets an error reply from its own wait on s.done rather than
+// blocking forever.
+func (s *server) Close() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// predictRequest is the POST /predict body: a sparse feature vector as
+// parallel index/value lists, the requested top-k, and whether to use
+// SLIDE's sub-linear sampled inference or the exact full forward pass.
+type predictRequest struct {
+	Indices []int32   `json:"indices"`
+	Values  []float32 `json:"values"`
+	K       int       `json:"k"`
+	Sampled bool      `json:"sampled"`
+}
+
+type predictResponse struct {
+	IDs       []int32   `json:"ids"`
+	Scores    []float32 `json:"scores"`
+	Mode      string    `json:"mode"`
+	BatchSize int       `json:"batch_size"`
+	Millis    float64   `json:"ms"`
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Indices) != len(req.Values) {
+		httpError(w, http.StatusBadRequest, "%d indices but %d values", len(req.Indices), len(req.Values))
+		return
+	}
+	if len(req.Indices) == 0 {
+		httpError(w, http.StatusBadRequest, "empty feature vector")
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.opts.DefaultK
+	}
+	if k > s.opts.MaxK {
+		k = s.opts.MaxK
+	}
+	x, err := slide.NewVector(s.net.Config().InputDim, req.Indices, req.Values)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad feature vector: %v", err)
+		return
+	}
+
+	p := &pendingReq{x: x, k: k, sampled: req.Sampled, reply: make(chan batchReply, 1)}
+	var rep batchReply
+	if s.opts.BatchWindow > 0 {
+		select {
+		case s.reqCh <- p:
+		case <-s.done:
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		case <-r.Context().Done():
+			httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", r.Context().Err())
+			return
+		}
+		select {
+		case rep = <-p.reply:
+		case <-s.done:
+			// Shutdown raced our enqueue past the batcher's final
+			// drain; answer rather than wait on a reply that may
+			// never come.
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		case <-r.Context().Done():
+			// The batcher will still complete the work and drop the
+			// buffered reply; the client has gone away.
+			httpError(w, http.StatusServiceUnavailable, "cancelled: %v", r.Context().Err())
+			return
+		}
+	} else {
+		rep = s.runOne(r.Context(), p)
+	}
+	if rep.err != nil {
+		httpError(w, http.StatusInternalServerError, "predict: %v", rep.err)
+		return
+	}
+
+	mode := "exact"
+	if req.Sampled {
+		mode = "sampled"
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+	s.stats.record(ms, rep.batchSize)
+	writeJSON(w, http.StatusOK, predictResponse{
+		IDs: rep.ids, Scores: rep.scores, Mode: mode, BatchSize: rep.batchSize, Millis: ms,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"input_dim": s.net.Config().InputDim,
+		"classes":   s.net.OutputDim(),
+		"layers":    s.net.NumLayers(),
+		"params":    s.net.NumParams(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot())
+}
+
+// batchLoop gathers concurrent requests into micro-batches: the first
+// request opens a window, further requests join until the window closes
+// or the batch fills, then the whole batch runs through one
+// PredictBatch fan-out per mode.
+func (s *server) batchLoop() {
+	defer s.wg.Done()
+	for {
+		var first *pendingReq
+		select {
+		case first = <-s.reqCh:
+		case <-s.done:
+			s.drain()
+			return
+		}
+		batch := []*pendingReq{first}
+		timer := time.NewTimer(s.opts.BatchWindow)
+	gather:
+		for len(batch) < s.opts.BatchMax {
+			select {
+			case r := <-s.reqCh:
+				batch = append(batch, r)
+			case <-timer.C:
+				break gather
+			case <-s.done:
+				break gather
+			}
+		}
+		timer.Stop()
+		s.runBatch(batch)
+	}
+}
+
+// drain serves whatever is still queued at shutdown so no handler is
+// left waiting on a reply that will never come.
+func (s *server) drain() {
+	for {
+		select {
+		case r := <-s.reqCh:
+			s.runBatch([]*pendingReq{r})
+		default:
+			return
+		}
+	}
+}
+
+// runBatch partitions a micro-batch by inference mode, runs one
+// PredictBatch per mode at the largest requested k, and trims each
+// request's reply down to its own k.
+func (s *server) runBatch(batch []*pendingReq) {
+	var byMode [2][]*pendingReq
+	for _, r := range batch {
+		i := 0
+		if r.sampled {
+			i = 1
+		}
+		byMode[i] = append(byMode[i], r)
+	}
+	for i, group := range byMode {
+		if len(group) == 0 {
+			continue
+		}
+		xs := make([]slide.Vector, len(group))
+		maxK := 0
+		for j, r := range group {
+			xs[j] = r.x
+			if r.k > maxK {
+				maxK = r.k
+			}
+		}
+		var ids [][]int32
+		var scores [][]float32
+		var err error
+		if i == 1 {
+			ids, scores, err = s.pred.PredictBatchSampled(context.Background(), xs, maxK)
+		} else {
+			ids, scores, err = s.pred.PredictBatch(context.Background(), xs, maxK)
+		}
+		for j, r := range group {
+			rep := batchReply{err: err, batchSize: len(batch)}
+			if err == nil {
+				n := minInt(r.k, len(ids[j]))
+				rep.ids, rep.scores = ids[j][:n], scores[j][:n]
+			}
+			r.reply <- rep
+		}
+	}
+}
+
+// runOne serves a request without micro-batching.
+func (s *server) runOne(ctx context.Context, r *pendingReq) batchReply {
+	if err := ctx.Err(); err != nil {
+		return batchReply{err: err}
+	}
+	ids, scores, err := s.pred.TopKWithScores(r.x, r.k, r.sampled)
+	return batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
+}
+
+// statsRecorder accumulates request counts, micro-batch sizes and a ring
+// of recent latencies for percentile reporting.
+type statsRecorder struct {
+	mu         sync.Mutex
+	requests   int64
+	batchElems int64
+	lat        [4096]float64
+	pos        int
+	filled     bool
+}
+
+func (sr *statsRecorder) record(ms float64, batchSize int) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.requests++
+	sr.batchElems += int64(batchSize)
+	sr.lat[sr.pos] = ms
+	sr.pos++
+	if sr.pos == len(sr.lat) {
+		sr.pos = 0
+		sr.filled = true
+	}
+}
+
+type statsSnapshot struct {
+	Requests      int64   `json:"requests"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	P50Millis     float64 `json:"p50_ms"`
+	P90Millis     float64 `json:"p90_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+}
+
+func (sr *statsRecorder) snapshot() statsSnapshot {
+	sr.mu.Lock()
+	n := sr.pos
+	if sr.filled {
+		n = len(sr.lat)
+	}
+	lats := append([]float64(nil), sr.lat[:n]...)
+	snap := statsSnapshot{Requests: sr.requests}
+	if sr.requests > 0 {
+		snap.MeanBatchSize = float64(sr.batchElems) / float64(sr.requests)
+	}
+	sr.mu.Unlock()
+
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		snap.P50Millis = percentile(lats, 0.50)
+		snap.P90Millis = percentile(lats, 0.90)
+		snap.P99Millis = percentile(lats, 0.99)
+	}
+	return snap
+}
+
+// percentile reads the p-quantile from ascending-sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// testModel builds a small sampled-softmax network, round-trips it
+// through the self-describing model format, and returns the loaded copy —
+// exactly the path slide-serve takes from a slide-train -save file.
+func testModel(t *testing.T) *slide.Network {
+	t.Helper()
+	net, err := slide.New(slide.Config{
+		InputDim: 64,
+		Seed:     11,
+		Layers: []slide.LayerConfig{
+			{Size: 32, Activation: slide.ActReLU},
+			{
+				Size: 256, Activation: slide.ActSoftmax,
+				Sampled: true, Hash: slide.HashSimhash, K: 4, L: 8,
+				Strategy: slide.StrategyVanilla, Beta: 48,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := slide.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+func startServer(t *testing.T, opts serverOptions) *httptest.Server {
+	t.Helper()
+	s, err := newServer(testModel(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postPredict(t *testing.T, url string, body string) (int, predictResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr predictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, pr
+}
+
+func TestPredictExactAndSampled(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: time.Millisecond})
+	for _, mode := range []struct {
+		sampled bool
+		want    string
+	}{{false, "exact"}, {true, "sampled"}} {
+		body := fmt.Sprintf(`{"indices":[1,7,33],"values":[1.0,0.5,2.0],"k":3,"sampled":%v}`, mode.sampled)
+		code, pr := postPredict(t, ts.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("mode %s: status %d", mode.want, code)
+		}
+		if pr.Mode != mode.want {
+			t.Fatalf("mode = %q, want %q", pr.Mode, mode.want)
+		}
+		if len(pr.IDs) != 3 || len(pr.Scores) != 3 {
+			t.Fatalf("mode %s: got %d ids / %d scores, want 3", mode.want, len(pr.IDs), len(pr.Scores))
+		}
+		for i := 1; i < len(pr.Scores); i++ {
+			if pr.Scores[i] > pr.Scores[i-1] {
+				t.Fatalf("mode %s: scores not descending: %v", mode.want, pr.Scores)
+			}
+		}
+	}
+}
+
+func TestPredictDirectPathWithoutBatching(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: 0})
+	code, pr := postPredict(t, ts.URL, `{"indices":[2,5],"values":[1,1],"k":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(pr.IDs) != 4 || pr.BatchSize != 1 {
+		t.Fatalf("got %d ids, batch %d; want 4 ids, batch 1", len(pr.IDs), pr.BatchSize)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: time.Millisecond})
+	for name, body := range map[string]string{
+		"mismatched":   `{"indices":[1,2],"values":[1.0]}`,
+		"empty":        `{"indices":[],"values":[]}`,
+		"out of range": `{"indices":[9999],"values":[1.0]}`,
+		"not json":     `nope`,
+	} {
+		code, _ := postPredict(t, ts.URL, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+// TestConcurrentPredictMicroBatches hammers the server with parallel
+// requests in both modes and checks that micro-batching actually grouped
+// some of them while every reply stays well-formed.
+func TestConcurrentPredictMicroBatches(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: 5 * time.Millisecond, BatchMax: 32})
+	const clients = 24
+	var wg sync.WaitGroup
+	sawBatch := make([]int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"indices":[%d,%d],"values":[1.0,0.5],"k":2,"sampled":%v}`,
+				c%64, (c*7)%64, c%2 == 0)
+			code, pr := postPredict(t, ts.URL, body)
+			if code != http.StatusOK {
+				t.Errorf("client %d: status %d", c, code)
+				return
+			}
+			if len(pr.IDs) != 2 {
+				t.Errorf("client %d: %d ids", c, len(pr.IDs))
+			}
+			sawBatch[c] = pr.BatchSize
+		}(c)
+	}
+	wg.Wait()
+	maxBatch := 0
+	for _, b := range sawBatch {
+		if b > maxBatch {
+			maxBatch = b
+		}
+	}
+	if maxBatch < 2 {
+		t.Logf("no request shared a micro-batch (max batch size %d) — timing-dependent, not fatal", maxBatch)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: time.Millisecond})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["classes"] != float64(256) {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	for i := 0; i < 5; i++ {
+		if code, _ := postPredict(t, ts.URL, `{"indices":[3],"values":[1.0]}`); code != http.StatusOK {
+			t.Fatalf("warmup request %d: status %d", i, code)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap statsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Requests != 5 {
+		t.Fatalf("stats requests = %d, want 5", snap.Requests)
+	}
+	if snap.P50Millis < 0 || snap.P99Millis < snap.P50Millis {
+		t.Fatalf("implausible percentiles: %+v", snap)
+	}
+}

@@ -6,6 +6,7 @@
 //	slide-train -profile delicious -scale 0.01 -epochs 4
 //	slide-train -train Train.txt -test Test.txt -hash dwta -k 8 -l 50 -beta 3000
 //	slide-train -profile amazon -scale 0.01 -system dense
+//	slide-train -profile delicious -epochs 4 -save model.slide   # then: slide-serve -model model.slide
 package main
 
 import (
@@ -15,13 +16,9 @@ import (
 	"os"
 
 	"repro"
-	"repro/internal/dataset"
-	"repro/internal/dense"
-	"repro/internal/hashtable"
-	"repro/internal/lsh"
-	"repro/internal/metrics"
-	"repro/internal/optim"
-	"repro/internal/sampling"
+	"repro/baselines"
+	"repro/dataset"
+	"repro/metrics"
 )
 
 func main() {
@@ -48,6 +45,7 @@ func main() {
 		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		evalEvery = flag.Int64("eval-every", 50, "evaluate every N iterations")
 		seed      = flag.Uint64("seed", 42, "random seed")
+		savePath  = flag.String("save", "", "write the trained model (self-describing v2 format) to this path")
 	)
 	flag.Parse()
 
@@ -62,14 +60,17 @@ func main() {
 
 	switch *system {
 	case "dense":
-		net, err := dense.New(dense.Config{
+		if *savePath != "" {
+			log.Fatal("-save only supports -system slide")
+		}
+		net, err := baselines.NewDense(baselines.DenseConfig{
 			InputDim: ds.InputDim, Hidden: []int{*hidden}, Classes: ds.NumClasses,
-			Seed: *seed, Adam: optim.NewAdam(float32(*lr)),
+			Seed: *seed, Adam: slide.NewAdam(float32(*lr)),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := net.Train(ds.Train, ds.Test, dense.TrainConfig{
+		res, err := net.Train(ds.Train, ds.Test, baselines.DenseTrainConfig{
 			BatchSize: *batch, Epochs: *epochs, Threads: *threads,
 			EvalEvery: *evalEvery, Seed: *seed, OnEval: onEval,
 		})
@@ -79,19 +80,19 @@ func main() {
 		fmt.Printf("done: P@1=%.4f in %.1fs (%d iterations, utilization %.0f%%)\n",
 			res.FinalAcc, res.Seconds, res.Iterations, res.Utilization*100)
 	case "slide":
-		hk, err := lsh.ParseKind(*hash)
+		hk, err := slide.ParseHash(*hash)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sk, err := sampling.ParseKind(*strategy)
+		sk, err := slide.ParseStrategy(*strategy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pk, err := hashtable.ParsePolicy(*policy)
+		pk, err := slide.ParsePolicy(*policy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		um, err := optim.ParseUpdateMode(*update)
+		um, err := slide.ParseUpdateMode(*update)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func main() {
 		net, err := slide.New(slide.Config{
 			InputDim:   ds.InputDim,
 			Seed:       *seed,
-			Adam:       optim.NewAdam(float32(*lr)),
+			Adam:       slide.NewAdam(float32(*lr)),
 			UpdateMode: um,
 			Layers: []slide.LayerConfig{
 				{Size: *hidden, Activation: slide.ActReLU},
@@ -126,6 +127,20 @@ func main() {
 		fmt.Printf("done: P@1=%.4f in %.1fs (%d iterations, %d rebuilds, %.0f mean active of %d, utilization %.0f%%)\n",
 			res.FinalAcc, res.Seconds, res.Iterations, res.Rebuilds,
 			res.MeanActive[1], ds.NumClasses, res.Utilization*100)
+		if *savePath != "" {
+			f, err := os.Create(*savePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := net.SaveModel(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("saved model to %s (serve it with: slide-serve -model %s)\n", *savePath, *savePath)
+		}
 	default:
 		log.Fatalf("unknown -system %q (want slide|dense)", *system)
 	}

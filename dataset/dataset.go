@@ -1,0 +1,58 @@
+// Package dataset is the public surface of the SLIDE data substrate:
+// synthetic extreme-classification profiles mirroring the paper's
+// Delicious-200K and Amazon-670K workloads (Table 1), and readers/writers
+// for the Extreme Classification Repository text format.
+//
+// It re-exports repro/internal/dataset so examples, binaries and external
+// consumers never import internal packages directly.
+package dataset
+
+import (
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Example is one multi-label classification instance: a sparse feature
+// vector plus its sorted true label ids.
+type Example = dataset.Example
+
+// Dataset is a named train/test split over a fixed feature and label
+// space.
+type Dataset = dataset.Dataset
+
+// Stats reports a dataset's Table 1 statistics.
+type Stats = dataset.Stats
+
+// Profile parameterizes a synthetic extreme-classification generator.
+type Profile = dataset.Profile
+
+// Delicious200K returns the synthetic profile mirroring Delicious-200K at
+// the given scale in (0, 1].
+func Delicious200K(scale float64, seed uint64) Profile {
+	return dataset.Delicious200K(scale, seed)
+}
+
+// Amazon670K returns the synthetic profile mirroring Amazon-670K at the
+// given scale in (0, 1].
+func Amazon670K(scale float64, seed uint64) Profile {
+	return dataset.Amazon670K(scale, seed)
+}
+
+// Generate materializes a profile into a train/test split.
+func Generate(p Profile) (*Dataset, error) { return dataset.Generate(p) }
+
+// ReadXC parses examples in the Extreme Classification Repository format.
+func ReadXC(r io.Reader) (examples []Example, numFeatures, numLabels int, err error) {
+	return dataset.ReadXC(r)
+}
+
+// WriteXC writes examples in the Extreme Classification Repository
+// format.
+func WriteXC(w io.Writer, examples []Example, numFeatures, numLabels int) error {
+	return dataset.WriteXC(w, examples, numFeatures, numLabels)
+}
+
+// LoadXCFile loads an XC-format file as a dataset named name (the test
+// split is left empty).
+func LoadXCFile(name, path string) (*Dataset, error) { return dataset.LoadXCFile(name, path) }

@@ -15,10 +15,9 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/dataset"
-	"repro/internal/dense"
-	"repro/internal/gpusim"
-	"repro/internal/metrics"
+	"repro/baselines"
+	"repro/dataset"
+	"repro/metrics"
 )
 
 func main() {
@@ -66,13 +65,13 @@ func main() {
 	}
 
 	fmt.Println("training dense full-softmax baseline (TF-CPU analog)...")
-	dnet, err := dense.New(dense.Config{
+	dnet, err := baselines.NewDense(baselines.DenseConfig{
 		InputDim: ds.InputDim, Hidden: []int{128}, Classes: ds.NumClasses, Seed: 7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dres, err := dnet.Train(ds.Train, ds.Test, dense.TrainConfig{
+	dres, err := dnet.Train(ds.Train, ds.Test, baselines.DenseTrainConfig{
 		Epochs: *epochs, BatchSize: 256, EvalEvery: 50, EvalSamples: 1024,
 		OnEval: report("dense"),
 	})
@@ -80,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	model := gpusim.V100()
+	model := baselines.V100()
 	gpu := model.Retime(&dres.Curve, dres.FLOPsPerIter)
 
 	fmt.Println()

@@ -7,11 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
-	"repro/internal/dataset"
+	"repro/dataset"
+	"repro/metrics"
 )
 
 func main() {
@@ -76,4 +78,26 @@ func main() {
 	}
 	fmt.Printf("sampled top-3 prediction for test[0]: ids=%v scores=%v (true=%v)\n",
 		ids, scores, ds.Test[0].Labels)
+
+	// Serving-style inference: a Predictor pools per-worker state across
+	// calls and fans batches out over all cores — the session type
+	// slide-serve is built on.
+	pred, err := net.NewPredictor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs := make([]slide.Vector, 0, 64)
+	for i := 0; i < 64 && i < len(ds.Test); i++ {
+		xs = append(xs, ds.Test[i].Features)
+	}
+	batchIDs, batchScores, err := pred.PredictBatchSampled(context.Background(), xs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hits float64
+	for i := range batchIDs {
+		hits += metrics.PrecisionAt1(batchScores[i], batchIDs[i], ds.Test[i].Labels)
+	}
+	fmt.Printf("batched sampled inference over %d examples: P@1 = %.3f\n",
+		len(xs), hits/float64(len(xs)))
 }

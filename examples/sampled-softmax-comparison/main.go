@@ -14,8 +14,8 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/dataset"
-	"repro/internal/samsoftmax"
+	"repro/baselines"
+	"repro/dataset"
 )
 
 func main() {
@@ -49,7 +49,7 @@ func main() {
 	}
 
 	fmt.Println("training sampled softmax (static uniform candidates)...")
-	ssmRes, err := samsoftmax.Train(samsoftmax.Config{
+	ssmRes, err := baselines.TrainSampledSoftmax(baselines.SampledSoftmaxConfig{
 		InputDim: ds.InputDim, Hidden: []int{128}, Classes: ds.NumClasses,
 		Samples: budget, Seed: 21,
 	}, ds.Train, ds.Test, slide.TrainConfig{Epochs: 5, EvalEvery: 40})

@@ -14,7 +14,7 @@ import (
 	"runtime"
 
 	"repro"
-	"repro/internal/dataset"
+	"repro/dataset"
 )
 
 func main() {

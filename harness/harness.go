@@ -1,0 +1,30 @@
+// Package harness is the public surface of the experiment harness that
+// reproduces the paper's tables and figures (Fig. 4-11, Tables 1-4).
+//
+// It re-exports repro/internal/harness so binaries and external
+// consumers never import internal packages directly.
+package harness
+
+import (
+	"io"
+
+	"repro/internal/harness"
+)
+
+// Options configures an experiment run (scale, seed, threads, output).
+type Options = harness.Options
+
+// Experiment is one registered paper experiment.
+type Experiment = harness.Experiment
+
+// Report is an experiment's tabular output.
+type Report = harness.Report
+
+// Experiments lists every registered experiment in registration order.
+func Experiments() []Experiment { return harness.Experiments() }
+
+// Get looks an experiment up by id.
+func Get(id string) (Experiment, bool) { return harness.Get(id) }
+
+// RunAll runs every experiment, streaming text reports to w.
+func RunAll(opts Options, w io.Writer) error { return harness.RunAll(opts, w) }

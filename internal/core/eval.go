@@ -47,7 +47,9 @@ func parallelIndexed(workers, n int, f func(w, lo, hi int)) {
 
 // Evaluate computes exact (full forward) precision@1 and precision@k for
 // the requested ks over up to samples examples of test (0 = all),
-// parallelized across threads.
+// parallelized across threads. Per-worker element states are checked out
+// of the network's default predictor pool and returned afterwards, so
+// repeated evaluations do not re-allocate inference state.
 func (n *Network) Evaluate(test []dataset.Example, samples, threads int, ks ...int) (EvalResult, error) {
 	idx := evalSubset(test, orAll(samples, len(test)), n.cfg.Seed^0x0e7a1)
 	res := EvalResult{N: len(idx), PAtK: make(map[int]float64, len(ks))}
@@ -57,22 +59,29 @@ func (n *Network) Evaluate(test []dataset.Example, samples, threads int, ks ...i
 	if threads <= 0 {
 		threads = defaultThreads()
 	}
+	if threads > len(idx) {
+		threads = len(idx)
+	}
 	maxK := 1
 	for _, k := range ks {
 		if k > maxK {
 			maxK = k
 		}
 	}
+	pred, err := n.defaultPredictor()
+	if err != nil {
+		return res, err
+	}
+	states, err := pred.acquireStates(threads)
+	if err != nil {
+		return res, err
+	}
+	defer pred.releaseStates(states)
 
 	p1s := make([]float64, threads)
 	pks := make([]map[int]float64, threads)
-	errs := make([]error, threads)
 	parallelIndexed(threads, len(idx), func(w, lo, hi int) {
-		st, err := newElemState(n, n.cfg.Seed^0x0e7a1, w)
-		if err != nil {
-			errs[w] = err
-			return
-		}
+		st := states[w]
 		pk := make(map[int]float64, len(ks))
 		for k := lo; k < hi; k++ {
 			ex := &test[idx[k]]
@@ -94,11 +103,6 @@ func (n *Network) Evaluate(test []dataset.Example, samples, threads int, ks ...i
 		}
 		pks[w] = pk
 	})
-	for _, err := range errs {
-		if err != nil {
-			return res, err
-		}
-	}
 	var p1 float64
 	for _, v := range p1s {
 		p1 += v

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/arena"
 	"repro/internal/metrics"
@@ -31,12 +32,26 @@ type Network struct {
 	// the sparse-gradient communication payload of a distributed
 	// replica (§6 future work).
 	touchedWeights int64
+
+	// pred backs the convenience Predict/PredictSampled/Evaluate
+	// methods: one lazily built shared inference session whose pooled
+	// element states are reused across calls.
+	pred     *Predictor
+	predOnce sync.Once
+	predErr  error
 }
 
 // NewNetwork builds and initializes a network: random weights, K*L hash
 // functions per sampled layer, and hash tables populated from the initial
 // weight vectors.
 func NewNetwork(cfg Config) (*Network, error) {
+	return newNetwork(cfg, true)
+}
+
+// newNetwork is NewNetwork with the initial table build optional:
+// LoadModel skips it because the tables would be hashed from random
+// weights that the restored weights immediately replace.
+func newNetwork(cfg Config, buildTables bool) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -56,7 +71,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.layers = append(n.layers, l)
 		in = lc.Size
 	}
-	n.RebuildTables(0)
+	if buildTables {
+		n.RebuildTables(0)
+	}
 	n.rebuilds = 0 // the initial build is construction, not a scheduled rebuild
 	n.nextAt = int64(cfg.RebuildN0)
 	return n, nil
@@ -118,47 +135,25 @@ func (n *Network) maybeRebuild(workers int) bool {
 }
 
 // Predict runs an exact (all neurons active) forward pass and returns the
-// top-k class ids with their softmax-layer scores, highest first.
+// top-k class ids with their softmax-layer scores, highest first. It is a
+// thin wrapper over the network's lazily built default Predictor;
+// high-traffic callers should construct a Predictor once via NewPredictor
+// and use it directly (PredictBatch amortizes fan-out across workers).
 func (n *Network) Predict(x sparse.Vector, k int) ([]int32, []float32, error) {
-	st, err := newElemState(n, n.cfg.Seed^0x9ed1c7, 0)
+	p, err := n.defaultPredictor()
 	if err != nil {
 		return nil, nil, err
 	}
-	return n.predictWith(st, x, k, modeEvalFull), topScores(st, k), nil
+	return p.Predict(x, k)
 }
 
 // PredictSampled runs SLIDE's sub-linear inference: active neurons come
-// from the hash tables, and only their scores are computed.
+// from the hash tables, and only their scores are computed. Like Predict,
+// it delegates to the network's pooled default Predictor.
 func (n *Network) PredictSampled(x sparse.Vector, k int) ([]int32, []float32, error) {
-	st, err := newElemState(n, n.cfg.Seed^0x9ed1c7, 0)
+	p, err := n.defaultPredictor()
 	if err != nil {
 		return nil, nil, err
 	}
-	return n.predictWith(st, x, k, modeEvalSampled), topScores(st, k), nil
-}
-
-// predictWith returns the top-k class ids under the given mode.
-func (n *Network) predictWith(st *elemState, x sparse.Vector, k int, mode forwardMode) []int32 {
-	n.forwardElem(st, x, nil, mode)
-	out := &st.layers[len(st.layers)-1]
-	if out.full {
-		return sparse.TopK(out.vals, k)
-	}
-	pos := sparse.TopK(out.vals, k)
-	ids := make([]int32, len(pos))
-	for i, p := range pos {
-		ids[i] = out.ids[p]
-	}
-	return ids
-}
-
-// topScores reads the scores of the last predictWith call's top-k ids.
-func topScores(st *elemState, k int) []float32 {
-	out := &st.layers[len(st.layers)-1]
-	pos := sparse.TopK(out.vals, k)
-	scores := make([]float32, len(pos))
-	for i, p := range pos {
-		scores[i] = out.vals[p]
-	}
-	return scores
+	return p.PredictSampled(x, k)
 }

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sparse"
+)
+
+// predictSeed salts the network seed for inference-state RNG streams so
+// prediction never perturbs the training streams.
+const predictSeed = 0x9ed1c7
+
+// Predictor is a reusable, concurrency-safe inference session over a
+// Network. It owns a pool of per-worker element states (activations,
+// hash-code scratch, sampling strategies) sized to the network, so
+// steady-state prediction performs no per-call element-state allocations
+// — the property the "Accelerating SLIDE" follow-up (Daghaghi et al.,
+// 2021) identifies as the source of SLIDE's CPU serving wins.
+//
+// A single Predictor may be shared by any number of goroutines; each call
+// checks a state out of the pool and returns it when done. Predictions
+// only read the network's weights and hash tables, so concurrent
+// Predict/PredictBatch calls are race-free. Predicting concurrently with
+// Train shares the weights with HOGWILD updates and inherits the paper's
+// weak-consistency argument: reads may observe partially applied updates
+// but never corrupt state.
+type Predictor struct {
+	n    *Network
+	pool sync.Pool // stores *elemState; empty Get returns nil
+	// seq hands each freshly built state a distinct worker index so its
+	// strategy/RNG streams are independent.
+	seq atomic.Uint64
+}
+
+// NewPredictor builds an inference session for the network. The returned
+// Predictor is safe for concurrent use and amortizes element-state
+// allocation across calls; construct it once and share it.
+func (n *Network) NewPredictor() (*Predictor, error) {
+	p := &Predictor{n: n}
+	// Build the first state eagerly: it validates the sampling
+	// configuration so later pool refills cannot fail.
+	st, err := p.newState()
+	if err != nil {
+		return nil, err
+	}
+	p.pool.Put(st)
+	return p, nil
+}
+
+func (p *Predictor) newState() (*elemState, error) {
+	w := int(p.seq.Add(1)) - 1
+	return newElemState(p.n, p.n.cfg.Seed^predictSeed, w)
+}
+
+// getState checks a per-worker state out of the pool, building a new one
+// if the pool is empty (first use, or GC reclaimed pooled states).
+func (p *Predictor) getState() (*elemState, error) {
+	if st, _ := p.pool.Get().(*elemState); st != nil {
+		return st, nil
+	}
+	return p.newState()
+}
+
+func (p *Predictor) putState(st *elemState) { p.pool.Put(st) }
+
+// Network returns the network this predictor serves.
+func (p *Predictor) Network() *Network { return p.n }
+
+// Predict runs an exact (all neurons active) forward pass and returns the
+// top-k class ids with their softmax-layer scores, highest first.
+func (p *Predictor) Predict(x sparse.Vector, k int) ([]int32, []float32, error) {
+	return p.TopKWithScores(x, k, false)
+}
+
+// PredictSampled runs SLIDE's sub-linear inference: active neurons come
+// from the hash tables, and only their scores are computed.
+func (p *Predictor) PredictSampled(x sparse.Vector, k int) ([]int32, []float32, error) {
+	return p.TopKWithScores(x, k, true)
+}
+
+// TopKWithScores is the general single-example entry point: it runs one
+// forward pass (sampled or exact) and extracts the top-k class ids and
+// scores in a single selection pass, highest score first.
+func (p *Predictor) TopKWithScores(x sparse.Vector, k int, sampled bool) ([]int32, []float32, error) {
+	st, err := p.getState()
+	if err != nil {
+		return nil, nil, err
+	}
+	mode := modeEvalFull
+	if sampled {
+		mode = modeEvalSampled
+	}
+	ids, scores := p.n.predictInto(st, x, k, mode)
+	p.putState(st)
+	return ids, scores, nil
+}
+
+// PredictBatch predicts exact top-k ids and scores for every input,
+// fanning the batch out across GOMAXPROCS pooled workers. Cancellation is
+// checked between elements: on ctx cancellation the partial work is
+// discarded and ctx.Err() returned.
+func (p *Predictor) PredictBatch(ctx context.Context, xs []sparse.Vector, k int) ([][]int32, [][]float32, error) {
+	return p.predictBatch(ctx, xs, k, modeEvalFull)
+}
+
+// PredictBatchSampled is PredictBatch over the sub-linear sampled
+// inference path.
+func (p *Predictor) PredictBatchSampled(ctx context.Context, xs []sparse.Vector, k int) ([][]int32, [][]float32, error) {
+	return p.predictBatch(ctx, xs, k, modeEvalSampled)
+}
+
+func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int, mode forwardMode) ([][]int32, [][]float32, error) {
+	if len(xs) == 0 {
+		return nil, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	workers := minInt(defaultThreads(), len(xs))
+	states, err := p.acquireStates(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer p.releaseStates(states)
+
+	ids := make([][]int32, len(xs))
+	scores := make([][]float32, len(xs))
+	var cancelled atomic.Bool
+	parallelIndexed(workers, len(xs), func(w, lo, hi int) {
+		st := states[w]
+		for i := lo; i < hi; i++ {
+			if cancelled.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+			ids[i], scores[i] = p.n.predictInto(st, xs[i], k, mode)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return ids, scores, nil
+}
+
+// acquireStates checks out n states for a fan-out call; on error every
+// already-acquired state is returned to the pool.
+func (p *Predictor) acquireStates(n int) ([]*elemState, error) {
+	states := make([]*elemState, n)
+	for i := range states {
+		st, err := p.getState()
+		if err != nil {
+			p.releaseStates(states[:i])
+			return nil, err
+		}
+		states[i] = st
+	}
+	return states, nil
+}
+
+func (p *Predictor) releaseStates(states []*elemState) {
+	for _, st := range states {
+		p.putState(st)
+	}
+}
+
+// predictInto runs one forward pass and extracts top-k ids and scores in
+// one selection pass over the output layer's active set.
+func (n *Network) predictInto(st *elemState, x sparse.Vector, k int, mode forwardMode) ([]int32, []float32) {
+	n.forwardElem(st, x, nil, mode)
+	out := &st.layers[len(st.layers)-1]
+	pos := sparse.TopK(out.vals, k)
+	ids := make([]int32, len(pos))
+	scores := make([]float32, len(pos))
+	for i, p := range pos {
+		scores[i] = out.vals[p]
+		if out.full {
+			ids[i] = p
+		} else {
+			ids[i] = out.ids[p]
+		}
+	}
+	return ids, scores
+}
+
+// defaultPredictor lazily builds the predictor backing the Network's
+// convenience Predict/PredictSampled/Evaluate methods.
+func (n *Network) defaultPredictor() (*Predictor, error) {
+	n.predOnce.Do(func() {
+		n.pred, n.predErr = n.NewPredictor()
+	})
+	if n.predErr != nil {
+		return nil, fmt.Errorf("core: building default predictor: %w", n.predErr)
+	}
+	return n.pred, nil
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool intentionally drops some Put items for coverage, so tests
+// that pin pool-dependent determinism (bitwise sampled parity, exact
+// alloc counts) only run without it.
+const raceEnabled = false

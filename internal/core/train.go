@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,6 +45,17 @@ type TrainResult struct {
 // with private activation/gradient state (§3.1) — and gradients are
 // written according to Config.UpdateMode.
 func (n *Network) Train(train, test []dataset.Example, tc TrainConfig) (*TrainResult, error) {
+	return n.TrainContext(context.Background(), train, test, tc)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked
+// between batches, and on cancellation training stops cleanly — worker
+// goroutines drain, the partially trained network remains valid, and the
+// result accumulated so far is returned alongside ctx.Err(). Callers that
+// only care about completed runs can treat any non-nil error as failure;
+// callers driving training from a serving control plane can keep the
+// partial *TrainResult.
+func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Example, tc TrainConfig) (*TrainResult, error) {
 	if len(train) == 0 {
 		return nil, fmt.Errorf("core: empty training split")
 	}
@@ -137,8 +149,13 @@ func (n *Network) Train(train, test []dataset.Example, tc TrainConfig) (*TrainRe
 		return p1
 	}
 
+	var ctxErr error
 	start := n.step
 	for n.step-start < tc.Iterations {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		if pos+tc.BatchSize > len(order) {
 			reshuffle(order, tc.Seed+uint64(n.step))
 			pos = 0
@@ -174,8 +191,10 @@ func (n *Network) Train(train, test []dataset.Example, tc TrainConfig) (*TrainRe
 		}
 	}
 
-	// Final evaluation unless the loop ended exactly on an eval.
-	if last := res.Curve.Last(); last.Iter != n.step || len(res.Curve.Points) == 0 {
+	// Final evaluation unless the loop ended exactly on an eval. A
+	// cancelled run skips it: the caller asked to stop, and evaluation
+	// can be expensive.
+	if last := res.Curve.Last(); ctxErr == nil && (last.Iter != n.step || len(res.Curve.Points) == 0) {
 		evalNow()
 	}
 
@@ -188,7 +207,7 @@ func (n *Network) Train(train, test []dataset.Example, tc TrainConfig) (*TrainRe
 	}
 	res.MeanActive = meanActive(states, len(n.layers))
 	res.Utilization = utilization(states, trainNS, workers)
-	return res, nil
+	return res, ctxErr
 }
 
 func reshuffle(order []int, seed uint64) {

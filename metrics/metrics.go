@@ -1,0 +1,29 @@
+// Package metrics is the public surface of the SLIDE evaluation
+// substrate: precision@k over sparse top-k predictions, and the
+// accuracy-vs-time curves the paper's convergence figures are built from.
+//
+// It re-exports repro/internal/metrics so examples, binaries and external
+// consumers never import internal packages directly.
+package metrics
+
+import (
+	"repro/internal/metrics"
+)
+
+// Point is one evaluation of a training run: iterations, seconds, metric
+// value and mean loss since the previous point.
+type Point = metrics.Point
+
+// Curve is a named metric trajectory.
+type Curve = metrics.Curve
+
+// PrecisionAt1 reports whether the top-scored prediction is a true label.
+func PrecisionAt1(scores []float32, ids []int32, labels []int32) float64 {
+	return metrics.PrecisionAt1(scores, ids, labels)
+}
+
+// PrecisionAtK reports the fraction of the top-k predictions that are
+// true labels.
+func PrecisionAtK(scores []float32, ids []int32, labels []int32, k int) float64 {
+	return metrics.PrecisionAtK(scores, ids, labels, k)
+}

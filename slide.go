@@ -36,15 +36,31 @@
 package slide
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/hashtable"
 	"repro/internal/lsh"
 	"repro/internal/optim"
 	"repro/internal/sampling"
+	"repro/internal/sparse"
 )
 
 // Network is a SLIDE network. See core.Network for method documentation.
 type Network = core.Network
+
+// Predictor is a reusable, concurrency-safe inference session over a
+// Network: it pools per-worker element states so steady-state prediction
+// allocates no per-call inference state, and fans batches out across
+// workers. Construct one with Network.NewPredictor and share it between
+// goroutines; see core.Predictor for method documentation (Predict,
+// PredictSampled, PredictBatch, PredictBatchSampled, TopKWithScores).
+type Predictor = core.Predictor
+
+// Vector is the sparse input vector type consumed by Predict and carried
+// by dataset examples: parallel (index, value) lists over a fixed
+// dimension.
+type Vector = sparse.Vector
 
 // Config configures a network; LayerConfig configures one layer.
 type (
@@ -53,11 +69,24 @@ type (
 )
 
 // TrainConfig, TrainResult and EvalResult parameterize and report
-// training and evaluation runs.
+// training and evaluation runs. Point is one entry of a training curve.
 type (
 	TrainConfig = core.TrainConfig
 	TrainResult = core.TrainResult
 	EvalResult  = core.EvalResult
+	Point       = core.Point
+)
+
+// Adam holds the optimizer hyperparameters for Config.Adam.
+type Adam = optim.Adam
+
+// HashKind, StrategyKind, Policy and UpdateMode are the configuration
+// enum types behind the Hash*/Strategy*/Policy*/Update* constants.
+type (
+	HashKind     = lsh.Kind
+	StrategyKind = sampling.Kind
+	Policy       = hashtable.Policy
+	UpdateMode   = optim.UpdateMode
 )
 
 // Activation constants for LayerConfig.Activation.
@@ -107,6 +136,36 @@ const (
 // weight vectors (Algorithm 1, lines 3-6).
 func New(cfg Config) (*Network, error) { return core.NewNetwork(cfg) }
 
+// LoadModel reads a self-describing model written by Network.SaveModel:
+// the network is reconstructed from the embedded configuration, weights
+// are restored, and hash tables rebuilt. This is the serving entry point
+// — slide-serve loads models exclusively through it.
+func LoadModel(r io.Reader) (*Network, error) { return core.LoadModel(r) }
+
 // NewAdam returns Adam hyperparameters at the given learning rate for
 // Config.Adam.
-func NewAdam(lr float32) optim.Adam { return optim.NewAdam(lr) }
+func NewAdam(lr float32) Adam { return optim.NewAdam(lr) }
+
+// NewVector returns a sparse vector over dim copying the given
+// components; indices are sorted and validated, duplicates summed.
+func NewVector(dim int, idx []int32, val []float32) (Vector, error) {
+	return sparse.New(dim, idx, val)
+}
+
+// VectorFromDense returns the sparse form of a dense vector.
+func VectorFromDense(d []float32) Vector { return sparse.FromDense(d) }
+
+// ParseHash parses a hash family name ("simhash", "wta", "dwta", "doph").
+func ParseHash(s string) (HashKind, error) { return lsh.ParseKind(s) }
+
+// ParseStrategy parses a sampling strategy name ("vanilla", "topk",
+// "hard-threshold", "random").
+func ParseStrategy(s string) (StrategyKind, error) { return sampling.ParseKind(s) }
+
+// ParsePolicy parses a bucket insertion policy name ("reservoir",
+// "fifo").
+func ParsePolicy(s string) (Policy, error) { return hashtable.ParsePolicy(s) }
+
+// ParseUpdateMode parses a gradient update mode name ("hogwild",
+// "atomic", "batch-sync").
+func ParseUpdateMode(s string) (UpdateMode, error) { return optim.ParseUpdateMode(s) }
