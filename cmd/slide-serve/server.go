@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -57,7 +59,11 @@ type pendingReq struct {
 	x       slide.Vector
 	k       int
 	sampled bool
-	reply   chan batchReply
+	// seeded marks a request carrying a "seed" field; its sampled
+	// prediction must be a pure function of (x, seed).
+	seeded bool
+	seed   uint64
+	reply  chan batchReply
 }
 
 type batchReply struct {
@@ -72,11 +78,12 @@ func newServer(net *slide.Network, opts serverOptions) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts = opts.withDefaults()
 	s := &server{
 		net:   net,
 		pred:  pred,
-		opts:  opts.withDefaults(),
-		reqCh: make(chan *pendingReq, 4*opts.withDefaults().BatchMax),
+		opts:  opts,
+		reqCh: make(chan *pendingReq, 4*opts.BatchMax),
 		done:  make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -104,11 +111,16 @@ func (s *server) routes() http.Handler {
 // predictRequest is the POST /predict body: a sparse feature vector as
 // parallel index/value lists, the requested top-k, and whether to use
 // SLIDE's sub-linear sampled inference or the exact full forward pass.
+// An optional seed makes a sampled prediction deterministic: identical
+// (indices, values, k, seed) requests return identical ids and scores no
+// matter what other traffic the server is handling. Exact predictions
+// are always deterministic; seed is ignored for them.
 type predictRequest struct {
 	Indices []int32   `json:"indices"`
 	Values  []float32 `json:"values"`
 	K       int       `json:"k"`
 	Sampled bool      `json:"sampled"`
+	Seed    *uint64   `json:"seed"`
 }
 
 type predictResponse struct {
@@ -148,8 +160,18 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	p := &pendingReq{x: x, k: k, sampled: req.Sampled, reply: make(chan batchReply, 1)}
+	if req.Seed != nil {
+		p.seeded = true
+		p.seed = *req.Seed
+	}
 	var rep batchReply
-	if s.opts.BatchWindow > 0 {
+	if p.sampled && p.seeded {
+		// Seeded requests gain nothing from gathering — they always run
+		// as individual seeded predictions — so skip the micro-batch
+		// queue: no window wait, and a slow seeded pass never
+		// head-of-line-blocks the batcher for unrelated traffic.
+		rep = s.runOne(r.Context(), p)
+	} else if s.opts.BatchWindow > 0 {
 		select {
 		case s.reqCh <- p:
 		case <-s.done:
@@ -253,15 +275,41 @@ func (s *server) drain() {
 
 // runBatch partitions a micro-batch by inference mode, runs one
 // PredictBatch per mode at the largest requested k, and trims each
-// request's reply down to its own k.
+// request's reply down to its own k. Seeded sampled requests (normally
+// dispatched straight to runOne by handlePredict, but handled here too so
+// a seeded request can never be mis-batched) leave the shared fan-out:
+// each runs as its own seeded single prediction on a state from the
+// Predictor's quarantined seeded pool, reseeded from the request seed, so
+// its result is a pure function of (input, seed) and never depends on
+// what else happened to share the micro-batch.
 func (s *server) runBatch(batch []*pendingReq) {
 	var byMode [2][]*pendingReq
+	var seeded []*pendingReq
 	for _, r := range batch {
-		i := 0
-		if r.sampled {
-			i = 1
+		switch {
+		case r.sampled && r.seeded:
+			seeded = append(seeded, r)
+		case r.sampled:
+			byMode[1] = append(byMode[1], r)
+		default:
+			byMode[0] = append(byMode[0], r)
 		}
-		byMode[i] = append(byMode[i], r)
+	}
+	// Bounded fan-out: each in-flight seeded prediction holds a pooled
+	// worker state, so cap concurrency at GOMAXPROCS rather than one
+	// goroutine (and state) per request.
+	var wg sync.WaitGroup
+	workers := minInt(runtime.GOMAXPROCS(0), len(seeded))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(seeded); i += workers {
+				r := seeded[i]
+				ids, scores, err := s.pred.PredictSampled(r.x, r.k, slide.PredictOpts{Seed: r.seed})
+				r.reply <- batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
+			}
+		}(w)
 	}
 	for i, group := range byMode {
 		if len(group) == 0 {
@@ -284,7 +332,9 @@ func (s *server) runBatch(batch []*pendingReq) {
 			ids, scores, err = s.pred.PredictBatch(context.Background(), xs, maxK)
 		}
 		for j, r := range group {
-			rep := batchReply{err: err, batchSize: len(batch)}
+			// batchSize is the fan-out the request actually rode —
+			// its mode group, not the whole gathered micro-batch.
+			rep := batchReply{err: err, batchSize: len(group)}
 			if err == nil {
 				n := minInt(r.k, len(ids[j]))
 				rep.ids, rep.scores = ids[j][:n], scores[j][:n]
@@ -292,6 +342,7 @@ func (s *server) runBatch(batch []*pendingReq) {
 			r.reply <- rep
 		}
 	}
+	wg.Wait()
 }
 
 // runOne serves a request without micro-batching.
@@ -299,7 +350,11 @@ func (s *server) runOne(ctx context.Context, r *pendingReq) batchReply {
 	if err := ctx.Err(); err != nil {
 		return batchReply{err: err}
 	}
-	ids, scores, err := s.pred.TopKWithScores(r.x, r.k, r.sampled)
+	var opts []slide.PredictOpts
+	if r.sampled && r.seeded {
+		opts = append(opts, slide.PredictOpts{Seed: r.seed})
+	}
+	ids, scores, err := s.pred.TopKWithScores(r.x, r.k, r.sampled, opts...)
 	return batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
 }
 
@@ -357,9 +412,19 @@ func (sr *statsRecorder) snapshot() statsSnapshot {
 	return snap
 }
 
-// percentile reads the p-quantile from ascending-sorted samples.
+// percentile reads the p-quantile from ascending-sorted samples using the
+// nearest-rank definition: the smallest sample with at least a fraction p
+// of all samples at or below it, i.e. index ceil(p*n)-1. (Truncating
+// p*n would index one rank too high — p50 of two samples must be the
+// first, not the second.)
 func percentile(sorted []float64, p float64) float64 {
-	i := int(p * float64(len(sorted)))
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

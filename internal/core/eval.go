@@ -72,11 +72,11 @@ func (n *Network) Evaluate(test []dataset.Example, samples, threads int, ks ...i
 	if err != nil {
 		return res, err
 	}
-	states, err := pred.acquireStates(threads)
+	states, err := pred.acquireStates(threads, false)
 	if err != nil {
 		return res, err
 	}
-	defer pred.releaseStates(states)
+	defer pred.releaseStates(states, false)
 
 	p1s := make([]float64, threads)
 	pks := make([]map[int]float64, threads)

@@ -149,11 +149,12 @@ func (n *Network) Predict(x sparse.Vector, k int) ([]int32, []float32, error) {
 
 // PredictSampled runs SLIDE's sub-linear inference: active neurons come
 // from the hash tables, and only their scores are computed. Like Predict,
-// it delegates to the network's pooled default Predictor.
-func (n *Network) PredictSampled(x sparse.Vector, k int) ([]int32, []float32, error) {
+// it delegates to the network's pooled default Predictor. An optional
+// PredictOpts makes the draw deterministic in its Seed.
+func (n *Network) PredictSampled(x sparse.Vector, k int, opts ...PredictOpts) ([]int32, []float32, error) {
 	p, err := n.defaultPredictor()
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.PredictSampled(x, k)
+	return p.PredictSampled(x, k, opts...)
 }

@@ -30,6 +30,12 @@ const predictSeed = 0x9ed1c7
 type Predictor struct {
 	n    *Network
 	pool sync.Pool // stores *elemState; empty Get returns nil
+	// seededPool holds states reserved for seeded (deterministic) calls.
+	// A seeded pass re-derives every stream in the state from the request
+	// seed, which would destroy the per-worker stream independence the
+	// unseeded pool relies on — so reseeded states never mix back into
+	// pool. Workloads that never pass PredictOpts never fill it.
+	seededPool sync.Pool
 	// seq hands each freshly built state a distinct worker index so its
 	// strategy/RNG streams are independent.
 	seq atomic.Uint64
@@ -55,19 +61,45 @@ func (p *Predictor) newState() (*elemState, error) {
 	return newElemState(p.n, p.n.cfg.Seed^predictSeed, w)
 }
 
-// getState checks a per-worker state out of the pool, building a new one
-// if the pool is empty (first use, or GC reclaimed pooled states).
-func (p *Predictor) getState() (*elemState, error) {
-	if st, _ := p.pool.Get().(*elemState); st != nil {
+// statePool selects the pool a call draws from: seeded calls use the
+// quarantined seededPool so their reseeds never perturb unseeded workers.
+func (p *Predictor) statePool(seeded bool) *sync.Pool {
+	if seeded {
+		return &p.seededPool
+	}
+	return &p.pool
+}
+
+// getState checks a per-worker state out of the selected pool, building a
+// new one if the pool is empty (first use, or GC reclaimed pooled
+// states).
+func (p *Predictor) getState(seeded bool) (*elemState, error) {
+	if st, _ := p.statePool(seeded).Get().(*elemState); st != nil {
 		return st, nil
 	}
 	return p.newState()
 }
 
-func (p *Predictor) putState(st *elemState) { p.pool.Put(st) }
+func (p *Predictor) putState(st *elemState, seeded bool) { p.statePool(seeded).Put(st) }
 
 // Network returns the network this predictor serves.
 func (p *Predictor) Network() *Network { return p.n }
+
+// PredictOpts requests deterministic sampled inference. Passing one to a
+// sampled Predict* call reseeds the checked-out worker state from Seed
+// before the forward pass, so two calls with the same input and the same
+// Seed return bitwise-identical ids and scores regardless of which pooled
+// state serves them, of concurrent traffic, or of how many predictions
+// came before. Calls without a PredictOpts keep the pooled fast path:
+// each worker state advances its private streams and results are not
+// reproducible across calls. Seeded calls draw from a separate state
+// pool, so they never disturb the unseeded workers' stream independence.
+// Seeding only affects the sampled path — exact inference is already
+// deterministic.
+type PredictOpts struct {
+	// Seed drives the request's strategy and fallback-RNG streams.
+	Seed uint64
+}
 
 // Predict runs an exact (all neurons active) forward pass and returns the
 // top-k class ids with their softmax-layer scores, highest first.
@@ -76,25 +108,31 @@ func (p *Predictor) Predict(x sparse.Vector, k int) ([]int32, []float32, error) 
 }
 
 // PredictSampled runs SLIDE's sub-linear inference: active neurons come
-// from the hash tables, and only their scores are computed.
-func (p *Predictor) PredictSampled(x sparse.Vector, k int) ([]int32, []float32, error) {
-	return p.TopKWithScores(x, k, true)
+// from the hash tables, and only their scores are computed. Passing a
+// PredictOpts makes the sampled draw deterministic in its Seed.
+func (p *Predictor) PredictSampled(x sparse.Vector, k int, opts ...PredictOpts) ([]int32, []float32, error) {
+	return p.TopKWithScores(x, k, true, opts...)
 }
 
 // TopKWithScores is the general single-example entry point: it runs one
 // forward pass (sampled or exact) and extracts the top-k class ids and
-// scores in a single selection pass, highest score first.
-func (p *Predictor) TopKWithScores(x sparse.Vector, k int, sampled bool) ([]int32, []float32, error) {
-	st, err := p.getState()
+// scores in a single selection pass, highest score first. At most one
+// PredictOpts may be passed; it seeds the sampled path per PredictOpts.
+func (p *Predictor) TopKWithScores(x sparse.Vector, k int, sampled bool, opts ...PredictOpts) ([]int32, []float32, error) {
+	seeded := sampled && len(opts) > 0
+	st, err := p.getState(seeded)
 	if err != nil {
 		return nil, nil, err
+	}
+	if seeded {
+		st.reseed(opts[0].Seed)
 	}
 	mode := modeEvalFull
 	if sampled {
 		mode = modeEvalSampled
 	}
 	ids, scores := p.n.predictInto(st, x, k, mode)
-	p.putState(st)
+	p.putState(st, seeded)
 	return ids, scores, nil
 }
 
@@ -107,24 +145,29 @@ func (p *Predictor) PredictBatch(ctx context.Context, xs []sparse.Vector, k int)
 }
 
 // PredictBatchSampled is PredictBatch over the sub-linear sampled
-// inference path.
-func (p *Predictor) PredictBatchSampled(ctx context.Context, xs []sparse.Vector, k int) ([][]int32, [][]float32, error) {
-	return p.predictBatch(ctx, xs, k, modeEvalSampled)
+// inference path. Passing a PredictOpts makes every element's draw
+// deterministic: element i is seeded with a per-element seed derived from
+// Seed and i (element 0 uses Seed itself, so a one-element seeded batch
+// matches a seeded PredictSampled), independent of how the batch is
+// partitioned across workers.
+func (p *Predictor) PredictBatchSampled(ctx context.Context, xs []sparse.Vector, k int, opts ...PredictOpts) ([][]int32, [][]float32, error) {
+	return p.predictBatch(ctx, xs, k, modeEvalSampled, opts...)
 }
 
-func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int, mode forwardMode) ([][]int32, [][]float32, error) {
+func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int, mode forwardMode, opts ...PredictOpts) ([][]int32, [][]float32, error) {
 	if len(xs) == 0 {
 		return nil, nil, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	seeded := mode == modeEvalSampled && len(opts) > 0
 	workers := minInt(defaultThreads(), len(xs))
-	states, err := p.acquireStates(workers)
+	states, err := p.acquireStates(workers, seeded)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer p.releaseStates(states)
+	defer p.releaseStates(states, seeded)
 
 	ids := make([][]int32, len(xs))
 	scores := make([][]float32, len(xs))
@@ -139,6 +182,9 @@ func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int,
 				cancelled.Store(true)
 				return
 			}
+			if seeded {
+				st.reseed(elemSeed(opts[0].Seed, i))
+			}
 			ids[i], scores[i] = p.n.predictInto(st, xs[i], k, mode)
 		}
 	})
@@ -148,14 +194,22 @@ func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int,
 	return ids, scores, nil
 }
 
+// elemSeed derives batch element i's seed from the request seed. The
+// golden-ratio stride lands every element on a distinct seed while keeping
+// elemSeed(seed, 0) == seed; PCG's seed diffusion makes even adjacent
+// seeds statistically independent streams.
+func elemSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i)*layerSeedMix
+}
+
 // acquireStates checks out n states for a fan-out call; on error every
-// already-acquired state is returned to the pool.
-func (p *Predictor) acquireStates(n int) ([]*elemState, error) {
+// already-acquired state is returned to its pool.
+func (p *Predictor) acquireStates(n int, seeded bool) ([]*elemState, error) {
 	states := make([]*elemState, n)
 	for i := range states {
-		st, err := p.getState()
+		st, err := p.getState(seeded)
 		if err != nil {
-			p.releaseStates(states[:i])
+			p.releaseStates(states[:i], seeded)
 			return nil, err
 		}
 		states[i] = st
@@ -163,9 +217,9 @@ func (p *Predictor) acquireStates(n int) ([]*elemState, error) {
 	return states, nil
 }
 
-func (p *Predictor) releaseStates(states []*elemState) {
+func (p *Predictor) releaseStates(states []*elemState, seeded bool) {
 	for _, st := range states {
-		p.putState(st)
+		p.putState(st, seeded)
 	}
 }
 

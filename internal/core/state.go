@@ -77,6 +77,17 @@ type elemState struct {
 	lossCount int64
 }
 
+// Seed-derivation constants shared by construction (newElemState),
+// request reseeding (reseed) and batch element seeding (elemSeed):
+// rngSeedSalt separates the fallback-draw RNG's seed space from the
+// strategies', layerSeedMix (the 64-bit golden ratio) strides per-layer
+// strategy seeds apart, and workerSeedMix strides per-worker ones.
+const (
+	rngSeedSalt   = 0xe1e3
+	layerSeedMix  = 0x9e3779b97f4a7c15
+	workerSeedMix = 0xc2b2ae3d27d4eb4f
+)
+
 // newElemState builds worker state for the network. Worker w gets
 // independent strategy/rng streams derived from seed.
 func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
@@ -85,7 +96,7 @@ func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
 		codes:       make([][]uint32, len(n.layers)),
 		strategies:  make([]sampling.Strategy, len(n.layers)),
 		mark:        make([][]uint32, len(n.layers)),
-		rng:         rng.NewStream(seed^0xe1e3, uint64(w)*2+1),
+		rng:         rng.NewStream(seed^rngSeedSalt, uint64(w)*2+1),
 		activeSum:   make([]int64, len(n.layers)),
 		activeCount: make([]int64, len(n.layers)),
 	}
@@ -104,7 +115,7 @@ func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
 			Beta:     l.cfg.Beta,
 			MinCount: l.cfg.MinCount,
 			Universe: l.out,
-			Seed:     seed ^ uint64(li)*0x9e3779b97f4a7c15 ^ uint64(w)*0xc2b2ae3d27d4eb4f,
+			Seed:     seed ^ uint64(li)*layerSeedMix ^ uint64(w)*workerSeedMix,
 		}, l.out)
 		if err != nil {
 			return nil, err
@@ -113,6 +124,27 @@ func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
 	}
 	st.acc = make([]float32, maxIn)
 	return st, nil
+}
+
+// reseedStream is the fixed stream reseed pins the fallback RNG to,
+// replacing the construction-time per-worker stream so seeded results do
+// not depend on which pooled worker state serves the call.
+const reseedStream = 0x7d5
+
+// reseed re-derives the state's stochastic streams — each sampled layer's
+// strategy stream and the fallback-draw RNG — from a request seed instead
+// of the construction-time worker index. After reseed(s), a forward pass
+// over a given input produces bitwise-identical active sets (and hence
+// activations and top-k output) on any worker state of the same network,
+// no matter what traffic the state served before.
+func (st *elemState) reseed(seed uint64) {
+	st.rng.ReseedStream(seed^rngSeedSalt, reseedStream)
+	for li, strat := range st.strategies {
+		if strat == nil {
+			continue
+		}
+		strat.Reseed(seed ^ uint64(li)*layerSeedMix)
+	}
 }
 
 // markSeen stamps id in layer li's membership set, reporting whether it

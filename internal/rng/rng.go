@@ -44,6 +44,31 @@ func NewStream(seed, stream uint64) *RNG {
 	return r
 }
 
+// Reseed resets r to the state it would have had if freshly constructed
+// with NewStream(seed, stream) for r's current stream. The stream
+// increment is preserved, so two generators on the same stream reseeded
+// with equal seeds produce identical sequences regardless of how many
+// draws either has made.
+func (r *RNG) Reseed(seed uint64) {
+	if r.inc == 0 {
+		// Zero-value RNG: adopt the default stream so Reseed on an unused
+		// zero generator matches New(seed).
+		r.inc = pcgInc<<1 | 1
+	}
+	r.state = r.inc + seed
+	r.Uint32()
+}
+
+// ReseedStream resets r to exactly the state of NewStream(seed, stream),
+// replacing both the position and the stream increment. Use it to detach
+// a generator from its construction-time stream (e.g. a per-worker
+// stream) and pin it to a caller-chosen one.
+func (r *RNG) ReseedStream(seed, stream uint64) {
+	r.inc = stream<<1 | 1
+	r.state = r.inc + seed
+	r.Uint32()
+}
+
 // Split derives a new independent generator from r. The child's seed and
 // stream are drawn from r, so successive Split calls return generators with
 // distinct streams. Splitting advances r.

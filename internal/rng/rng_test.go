@@ -40,6 +40,43 @@ func TestStreamsIndependent(t *testing.T) {
 	}
 }
 
+func TestReseedMatchesFreshConstruction(t *testing.T) {
+	r := NewStream(42, 7)
+	for i := 0; i < 137; i++ { // advance to an arbitrary position
+		r.Uint32()
+	}
+	r.Reseed(42)
+	fresh := NewStream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("reseeded stream diverged from fresh construction at draw %d", i)
+		}
+	}
+}
+
+func TestReseedOnZeroValueMatchesNew(t *testing.T) {
+	var r RNG
+	r.Reseed(5)
+	fresh := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("zero-value Reseed diverged from New at draw %d", i)
+		}
+	}
+}
+
+func TestReseedStreamReplacesStream(t *testing.T) {
+	a := NewStream(1, 99) // construction-time stream should not matter
+	a.Uint64()
+	a.ReseedStream(42, 7)
+	b := NewStream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("ReseedStream diverged from NewStream at draw %d", i)
+		}
+	}
+}
+
 func TestSplitAdvancesParent(t *testing.T) {
 	a := New(9)
 	b := New(9)

@@ -91,6 +91,12 @@ type Strategy interface {
 	// query's K*L code vector for the table set (ignored by KindRandom).
 	// Returned ids are unique.
 	Sample(dst []uint32, t *hashtable.Table, codes []uint32) []uint32
+	// Reseed resets the strategy's private randomness to the position it
+	// would have if freshly constructed with Params.Seed = seed, so two
+	// strategies of the same kind and parameters reseeded with equal
+	// seeds produce identical Sample outputs for identical queries. For
+	// deterministic kinds (TopK, hard thresholding) it is a no-op.
+	Reseed(seed uint64)
 }
 
 // New builds a strategy instance. universeHint sizes the internal
@@ -109,7 +115,7 @@ func New(p Params, universeHint int) (Strategy, error) {
 		stamp: make([]uint32, universeHint),
 		count: make([]uint8, universeHint),
 	}
-	r := rng.NewStream(p.Seed, 0x5a3)
+	r := rng.NewStream(p.Seed, strategyStream)
 	switch p.Kind {
 	case KindVanilla:
 		return &vanilla{params: p, marker: base, rng: r}, nil
@@ -126,6 +132,11 @@ func New(p Params, universeHint int) (Strategy, error) {
 		return nil, fmt.Errorf("sampling: unknown kind %v", p.Kind)
 	}
 }
+
+// strategyStream is the fixed RNG stream all strategies draw from, so a
+// strategy's randomness is a pure function of its seed and Reseed can
+// reproduce the construction-time stream exactly.
+const strategyStream = 0x5a3
 
 // marker is an epoch-stamped visited set with per-id occurrence counts,
 // giving O(1) reset between queries.
@@ -171,6 +182,10 @@ type vanilla struct {
 
 func (v *vanilla) Kind() Kind { return KindVanilla }
 
+// Reseed repositions the probe-order stream; the next Sample visits
+// tables in the same order a fresh strategy seeded with seed would.
+func (v *vanilla) Reseed(seed uint64) { v.rng.Reseed(seed) }
+
 func (v *vanilla) Sample(dst []uint32, t *hashtable.Table, codes []uint32) []uint32 {
 	v.reset()
 	l := t.L()
@@ -206,6 +221,10 @@ type topK struct {
 
 func (k *topK) Kind() Kind { return KindTopK }
 
+// Reseed is a no-op: TopK aggregation is deterministic (count-desc,
+// id-asc tie break) and draws no randomness.
+func (k *topK) Reseed(uint64) {}
+
 func (k *topK) Sample(dst []uint32, t *hashtable.Table, codes []uint32) []uint32 {
 	k.reset()
 	k.seen = k.seen[:0]
@@ -238,6 +257,10 @@ type hardThreshold struct {
 
 func (h *hardThreshold) Kind() Kind { return KindHardThreshold }
 
+// Reseed is a no-op: thresholding scans tables in fixed order and draws
+// no randomness.
+func (h *hardThreshold) Reseed(uint64) {}
+
 func (h *hardThreshold) Sample(dst []uint32, t *hashtable.Table, codes []uint32) []uint32 {
 	h.reset()
 	for ti := 0; ti < t.L(); ti++ {
@@ -259,6 +282,10 @@ type random struct {
 }
 
 func (r *random) Kind() Kind { return KindRandom }
+
+// Reseed repositions the draw stream; the next Sample returns the ids a
+// fresh strategy seeded with seed would.
+func (r *random) Reseed(seed uint64) { r.rng.Reseed(seed) }
 
 func (r *random) Sample(dst []uint32, _ *hashtable.Table, _ []uint32) []uint32 {
 	r.reset()

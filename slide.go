@@ -57,6 +57,15 @@ type Network = core.Network
 // PredictSampled, PredictBatch, PredictBatchSampled, TopKWithScores).
 type Predictor = core.Predictor
 
+// PredictOpts requests deterministic sampled inference: passing
+// PredictOpts{Seed: s} to PredictSampled, PredictBatchSampled or
+// TopKWithScores reseeds the worker state's sampling streams from s
+// before the forward pass, so identical (input, seed) calls return
+// bitwise-identical ids and scores regardless of pool state, concurrency
+// or prior traffic. Calls without a PredictOpts keep the nondeterministic
+// pooled fast path. See core.PredictOpts.
+type PredictOpts = core.PredictOpts
+
 // Vector is the sparse input vector type consumed by Predict and carried
 // by dataset examples: parallel (index, value) lists over a fixed
 // dimension.
