@@ -301,6 +301,49 @@ func BenchmarkTable3Insertion(b *testing.B) {
 	}
 }
 
+// BenchmarkRebuildStall measures how long the training loop is blocked
+// per hash-table rebuild (§4.2 "Updating Overhead") under the two table
+// lifecycles: sync rebuilds stop the world for the whole reconstruction,
+// async rebuilds build a shadow set on a background goroutine and block
+// only for the batch-boundary snapshot copy plus the atomic swap. The
+// stall-ns/rebuild metric is the number the non-blocking lifecycle
+// exists to shrink; build-ns/rebuild is the work that moved off the
+// critical path.
+func BenchmarkRebuildStall(b *testing.B) {
+	ds := getBenchDS(b)
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"sync", true}, {"async", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var stallNS, buildNS, rebuilds int64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSlideConfig(ds)
+				cfg.RebuildN0 = 10
+				net, err := slide.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := net.Train(ds.Train, ds.Test, slide.TrainConfig{
+					Iterations: 60, BatchSize: 128, Seed: 3, EvalEvery: 0,
+					SyncRebuild: mode.sync,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rebuilds == 0 {
+					b.Fatal("no rebuilds in 60 iterations with N0=10")
+				}
+				stallNS += res.RebuildStallNS
+				buildNS += res.RebuildBuildNS
+				rebuilds += int64(res.Rebuilds)
+			}
+			b.ReportMetric(float64(stallNS)/float64(rebuilds), "stall-ns/rebuild")
+			b.ReportMetric(float64(buildNS)/float64(rebuilds), "build-ns/rebuild")
+		})
+	}
+}
+
 // BenchmarkTable4Arena measures the hugepage-analog ablation through the
 // harness's Table 4 experiment end to end at tiny scale.
 func BenchmarkTable4Arena(b *testing.B) {

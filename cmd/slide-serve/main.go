@@ -19,10 +19,17 @@
 //
 // Endpoints:
 //
-//	POST /predict  {"indices":[...],"values":[...],"k":5,"sampled":true}
-//	               -> {"ids":[...],"scores":[...],"mode":"sampled","ms":...}
-//	GET  /healthz  model shape and status
-//	GET  /stats    request counts, micro-batch sizes, latency percentiles
+//	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":true}
+//	                     -> {"ids":[...],"scores":[...],"mode":"sampled","ms":...}
+//	POST /predict/batch  {"batch":[{"indices":[...],"values":[...]},...],"k":5,"sampled":true}
+//	                     -> {"results":[{"ids":[...],"scores":[...]},...],"count":N,"ms":...}
+//	                     bulk clients ride one PredictBatch fan-out directly,
+//	                     skipping the micro-batch gathering window
+//	POST /reload         {"model":"other.slide"} (empty body reloads -model)
+//	                     atomically swaps in a freshly loaded Network+Predictor
+//	                     pair; in-flight requests finish on the old pair
+//	GET  /healthz        model shape, source path, reload count, status
+//	GET  /stats          request counts, micro-batch sizes, latency percentiles
 package main
 
 import (
@@ -68,6 +75,7 @@ func main() {
 		MaxK:        *maxK,
 		BatchWindow: *batchWindow,
 		BatchMax:    *batchMax,
+		ModelPath:   *modelPath,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -25,6 +28,12 @@ type serverOptions struct {
 	BatchWindow time.Duration
 	// BatchMax bounds the number of requests per micro-batch.
 	BatchMax int
+	// BatchBodyMax bounds the number of vectors a single /predict/batch
+	// request may carry.
+	BatchBodyMax int
+	// ModelPath is the model file the server was started from and the
+	// default source for POST /reload; empty disables path-less reloads.
+	ModelPath string
 }
 
 func (o serverOptions) withDefaults() serverOptions {
@@ -37,15 +46,42 @@ func (o serverOptions) withDefaults() serverOptions {
 	if o.BatchMax <= 0 {
 		o.BatchMax = 64
 	}
+	if o.BatchBodyMax <= 0 {
+		o.BatchBodyMax = 1024
+	}
 	return o
 }
 
-// server owns one shared Predictor and the micro-batching queue in front
+// engine is one servable (Network, Predictor) pair. The server publishes
+// the current engine through an atomic pointer — the same swap-a-handle
+// idiom the core uses for hash-table rebuilds — so POST /reload replaces
+// the whole pair in one store while in-flight requests finish on the
+// engine they started with (pendingReq pins it), even if the new model
+// has a different shape.
+type engine struct {
+	net   *slide.Network
+	pred  *slide.Predictor
+	model string // file the pair was loaded from ("" for in-memory models)
+}
+
+func newEngine(net *slide.Network, model string) (*engine, error) {
+	pred, err := net.NewPredictor()
+	if err != nil {
+		return nil, err
+	}
+	return &engine{net: net, pred: pred, model: model}, nil
+}
+
+// server owns the swappable engine and the micro-batching queue in front
 // of it.
 type server struct {
-	net  *slide.Network
-	pred *slide.Predictor
+	eng  atomic.Pointer[engine]
 	opts serverOptions
+
+	// reloadMu serializes /reload so concurrent reloads do not waste
+	// duplicate model loads; prediction traffic never takes it.
+	reloadMu sync.Mutex
+	reloads  atomic.Int64
 
 	reqCh chan *pendingReq
 	done  chan struct{}
@@ -54,8 +90,11 @@ type server struct {
 	stats statsRecorder
 }
 
-// pendingReq is one /predict request waiting for a micro-batch slot.
+// pendingReq is one /predict request waiting for a micro-batch slot. It
+// pins the engine that validated it, so a reload mid-queue cannot run the
+// request against a model with a different input dimension.
 type pendingReq struct {
+	eng     *engine
 	x       slide.Vector
 	k       int
 	sampled bool
@@ -74,18 +113,17 @@ type batchReply struct {
 }
 
 func newServer(net *slide.Network, opts serverOptions) (*server, error) {
-	pred, err := net.NewPredictor()
+	opts = opts.withDefaults()
+	eng, err := newEngine(net, opts.ModelPath)
 	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
 	s := &server{
-		net:   net,
-		pred:  pred,
 		opts:  opts,
 		reqCh: make(chan *pendingReq, 4*opts.BatchMax),
 		done:  make(chan struct{}),
 	}
+	s.eng.Store(eng)
 	s.wg.Add(1)
 	go s.batchLoop()
 	return s, nil
@@ -103,6 +141,8 @@ func (s *server) Close() {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
+	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -153,13 +193,14 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if k > s.opts.MaxK {
 		k = s.opts.MaxK
 	}
-	x, err := slide.NewVector(s.net.Config().InputDim, req.Indices, req.Values)
+	eng := s.eng.Load()
+	x, err := slide.NewVector(eng.net.Config().InputDim, req.Indices, req.Values)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad feature vector: %v", err)
 		return
 	}
 
-	p := &pendingReq{x: x, k: k, sampled: req.Sampled, reply: make(chan batchReply, 1)}
+	p := &pendingReq{eng: eng, x: x, k: k, sampled: req.Sampled, reply: make(chan batchReply, 1)}
 	if req.Seed != nil {
 		p.seeded = true
 		p.seed = *req.Seed
@@ -214,13 +255,178 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// batchPredictRequest is the POST /predict/batch body: a list of sparse
+// feature vectors sharing one k / mode / optional seed. Bulk clients use
+// it to hit the Predictor's multi-core PredictBatch fan-out directly —
+// no micro-batch gathering window, no per-vector HTTP overhead. With a
+// seed, element i is seeded deterministically from seed and i exactly as
+// PredictBatchSampled documents.
+type batchPredictRequest struct {
+	Batch []struct {
+		Indices []int32   `json:"indices"`
+		Values  []float32 `json:"values"`
+	} `json:"batch"`
+	K       int     `json:"k"`
+	Sampled bool    `json:"sampled"`
+	Seed    *uint64 `json:"seed"`
+}
+
+type batchPredictResponse struct {
+	Results []predictResult `json:"results"`
+	Mode    string          `json:"mode"`
+	Count   int             `json:"count"`
+	Millis  float64         `json:"ms"`
+}
+
+type predictResult struct {
+	IDs    []int32   `json:"ids"`
+	Scores []float32 `json:"scores"`
+}
+
+func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req batchPredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<26)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Batch) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Batch) > s.opts.BatchBodyMax {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), s.opts.BatchBodyMax)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.opts.DefaultK
+	}
+	if k > s.opts.MaxK {
+		k = s.opts.MaxK
+	}
+	eng := s.eng.Load()
+	dim := eng.net.Config().InputDim
+	xs := make([]slide.Vector, len(req.Batch))
+	for i, el := range req.Batch {
+		if len(el.Indices) != len(el.Values) {
+			httpError(w, http.StatusBadRequest, "element %d: %d indices but %d values", i, len(el.Indices), len(el.Values))
+			return
+		}
+		if len(el.Indices) == 0 {
+			httpError(w, http.StatusBadRequest, "element %d: empty feature vector", i)
+			return
+		}
+		x, err := slide.NewVector(dim, el.Indices, el.Values)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "element %d: bad feature vector: %v", i, err)
+			return
+		}
+		xs[i] = x
+	}
+
+	var ids [][]int32
+	var scores [][]float32
+	var err error
+	mode := "exact"
+	switch {
+	case req.Sampled && req.Seed != nil:
+		mode = "sampled"
+		ids, scores, err = eng.pred.PredictBatchSampled(r.Context(), xs, k, slide.PredictOpts{Seed: *req.Seed})
+	case req.Sampled:
+		mode = "sampled"
+		ids, scores, err = eng.pred.PredictBatchSampled(r.Context(), xs, k)
+	default:
+		ids, scores, err = eng.pred.PredictBatch(r.Context(), xs, k)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "predict batch: %v", err)
+		return
+	}
+
+	results := make([]predictResult, len(xs))
+	for i := range results {
+		results[i] = predictResult{IDs: ids[i], Scores: scores[i]}
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+	s.stats.record(ms, len(xs))
+	writeJSON(w, http.StatusOK, batchPredictResponse{
+		Results: results, Mode: mode, Count: len(xs), Millis: ms,
+	})
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	eng := s.eng.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"input_dim": s.net.Config().InputDim,
-		"classes":   s.net.OutputDim(),
-		"layers":    s.net.NumLayers(),
-		"params":    s.net.NumParams(),
+		"model":     eng.model,
+		"reloads":   s.reloads.Load(),
+		"input_dim": eng.net.Config().InputDim,
+		"classes":   eng.net.OutputDim(),
+		"layers":    eng.net.NumLayers(),
+		"params":    eng.net.NumParams(),
+	})
+}
+
+// reloadRequest is the POST /reload body. An empty body (or empty model
+// field) reloads the file the server was started from.
+type reloadRequest struct {
+	Model string `json:"model"`
+}
+
+// handleReload loads a model file, builds a fresh (Network, Predictor)
+// pair and publishes it with one atomic swap — the serving-side analog of
+// the core's shadow table rebuild. Requests already validated against the
+// old engine finish on it; everything arriving after the swap sees the
+// new model. The old pair is dropped to the garbage collector once its
+// in-flight requests drain.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req reloadRequest
+	// An empty body means "reload the default model"; io.EOF (rather
+	// than ContentLength, which chunked encoding reports as -1) is how
+	// the decoder says the body was empty.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	path := req.Model
+	if path == "" {
+		path = s.opts.ModelPath
+	}
+	if path == "" {
+		httpError(w, http.StatusBadRequest, "no model path: server was started without -model and the request names none")
+		return
+	}
+
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "opening model: %v", err)
+		return
+	}
+	net, err := slide.LoadModel(f)
+	f.Close()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "loading model: %v", err)
+		return
+	}
+	eng, err := newEngine(net, path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "building predictor: %v", err)
+		return
+	}
+	s.eng.Store(eng)
+	reloads := s.reloads.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"model":     path,
+		"reloads":   reloads,
+		"input_dim": net.Config().InputDim,
+		"classes":   net.OutputDim(),
+		"params":    net.NumParams(),
+		"ms":        float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
 
@@ -273,48 +479,52 @@ func (s *server) drain() {
 	}
 }
 
-// runBatch partitions a micro-batch by inference mode, runs one
-// PredictBatch per mode at the largest requested k, and trims each
+// batchGroup keys one shared fan-out inside a gathered micro-batch:
+// requests only ride the same PredictBatch call when they agree on both
+// the inference mode and the engine they were validated against (a
+// /reload landing mid-window splits the batch instead of mixing models).
+type batchGroup struct {
+	eng     *engine
+	sampled bool
+}
+
+// runBatch partitions a micro-batch by (engine, inference mode), runs one
+// PredictBatch per group at the largest requested k, and trims each
 // request's reply down to its own k. Seeded sampled requests (normally
 // dispatched straight to runOne by handlePredict, but handled here too so
 // a seeded request can never be mis-batched) leave the shared fan-out:
-// each runs as its own seeded single prediction on a state from the
-// Predictor's quarantined seeded pool, reseeded from the request seed, so
+// each runs as its own seeded single prediction on a state from its
+// engine's quarantined seeded pool, reseeded from the request seed, so
 // its result is a pure function of (input, seed) and never depends on
 // what else happened to share the micro-batch.
 func (s *server) runBatch(batch []*pendingReq) {
-	var byMode [2][]*pendingReq
+	groups := make(map[batchGroup][]*pendingReq)
 	var seeded []*pendingReq
 	for _, r := range batch {
-		switch {
-		case r.sampled && r.seeded:
+		if r.sampled && r.seeded {
 			seeded = append(seeded, r)
-		case r.sampled:
-			byMode[1] = append(byMode[1], r)
-		default:
-			byMode[0] = append(byMode[0], r)
+			continue
 		}
+		key := batchGroup{eng: r.eng, sampled: r.sampled}
+		groups[key] = append(groups[key], r)
 	}
 	// Bounded fan-out: each in-flight seeded prediction holds a pooled
 	// worker state, so cap concurrency at GOMAXPROCS rather than one
 	// goroutine (and state) per request.
 	var wg sync.WaitGroup
-	workers := minInt(runtime.GOMAXPROCS(0), len(seeded))
+	workers := min(runtime.GOMAXPROCS(0), len(seeded))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(seeded); i += workers {
 				r := seeded[i]
-				ids, scores, err := s.pred.PredictSampled(r.x, r.k, slide.PredictOpts{Seed: r.seed})
+				ids, scores, err := r.eng.pred.PredictSampled(r.x, r.k, slide.PredictOpts{Seed: r.seed})
 				r.reply <- batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
 			}
 		}(w)
 	}
-	for i, group := range byMode {
-		if len(group) == 0 {
-			continue
-		}
+	for key, group := range groups {
 		xs := make([]slide.Vector, len(group))
 		maxK := 0
 		for j, r := range group {
@@ -326,17 +536,17 @@ func (s *server) runBatch(batch []*pendingReq) {
 		var ids [][]int32
 		var scores [][]float32
 		var err error
-		if i == 1 {
-			ids, scores, err = s.pred.PredictBatchSampled(context.Background(), xs, maxK)
+		if key.sampled {
+			ids, scores, err = key.eng.pred.PredictBatchSampled(context.Background(), xs, maxK)
 		} else {
-			ids, scores, err = s.pred.PredictBatch(context.Background(), xs, maxK)
+			ids, scores, err = key.eng.pred.PredictBatch(context.Background(), xs, maxK)
 		}
 		for j, r := range group {
 			// batchSize is the fan-out the request actually rode —
 			// its mode group, not the whole gathered micro-batch.
 			rep := batchReply{err: err, batchSize: len(group)}
 			if err == nil {
-				n := minInt(r.k, len(ids[j]))
+				n := min(r.k, len(ids[j]))
 				rep.ids, rep.scores = ids[j][:n], scores[j][:n]
 			}
 			r.reply <- rep
@@ -345,7 +555,7 @@ func (s *server) runBatch(batch []*pendingReq) {
 	wg.Wait()
 }
 
-// runOne serves a request without micro-batching.
+// runOne serves a request without micro-batching, on its pinned engine.
 func (s *server) runOne(ctx context.Context, r *pendingReq) batchReply {
 	if err := ctx.Err(); err != nil {
 		return batchReply{err: err}
@@ -354,7 +564,7 @@ func (s *server) runOne(ctx context.Context, r *pendingReq) batchReply {
 	if r.sampled && r.seeded {
 		opts = append(opts, slide.PredictOpts{Seed: r.seed})
 	}
-	ids, scores, err := s.pred.TopKWithScores(r.x, r.k, r.sampled, opts...)
+	ids, scores, err := r.eng.pred.TopKWithScores(r.x, r.k, r.sampled, opts...)
 	return batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
 }
 
@@ -439,11 +649,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"slices"
 	"sync"
@@ -60,18 +62,28 @@ func startServer(t *testing.T, opts serverOptions) *httptest.Server {
 
 func postPredict(t *testing.T, url string, body string) (int, predictResponse) {
 	t.Helper()
-	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader([]byte(body)))
+	code, pr, err := tryPostPredict(url, body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	return code, pr
+}
+
+// tryPostPredict is postPredict without t.Fatal, safe to call from
+// client goroutines (FailNow must not run off the test goroutine).
+func tryPostPredict(url string, body string) (int, predictResponse, error) {
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, predictResponse{}, err
 	}
 	defer resp.Body.Close()
 	var pr predictResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-			t.Fatal(err)
+			return resp.StatusCode, predictResponse{}, err
 		}
 	}
-	return resp.StatusCode, pr
+	return resp.StatusCode, pr, nil
 }
 
 func TestPredictExactAndSampled(t *testing.T) {
@@ -270,7 +282,7 @@ func TestRunBatchReportsGroupSize(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func(sampled, seeded bool) *pendingReq {
-		return &pendingReq{x: x, k: 2, sampled: sampled, seeded: seeded, seed: 5,
+		return &pendingReq{eng: s.eng.Load(), x: x, k: 2, sampled: sampled, seeded: seeded, seed: 5,
 			reply: make(chan batchReply, 1)}
 	}
 	// 3 exact + 2 sampled + 1 seeded in one gathered micro-batch.
@@ -361,5 +373,226 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 	if snap.P50Millis < 0 || snap.P99Millis < snap.P50Millis {
 		t.Fatalf("implausible percentiles: %+v", snap)
+	}
+}
+
+// modelFile saves a freshly built model with the given seed into dir and
+// returns its path — the on-disk artifact /reload consumes.
+func modelFile(t *testing.T, dir string, seed uint64) string {
+	t.Helper()
+	net, err := slide.New(slide.Config{
+		InputDim: 64,
+		Seed:     seed,
+		Layers: []slide.LayerConfig{
+			{Size: 32, Activation: slide.ActReLU},
+			{
+				Size: 256, Activation: slide.ActSoftmax,
+				Sampled: true, Hash: slide.HashSimhash, K: 4, L: 8,
+				Strategy: slide.StrategyVanilla, Beta: 48,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("model-%d.slide", seed))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SaveModel(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestReloadSwapsEngineUnderLoad exercises the hot-reload satellite: the
+// server swaps its whole Network+Predictor pair from a model file while
+// concurrent /predict traffic is in flight, every response stays
+// well-formed, and /healthz reflects the new model afterwards.
+func TestReloadSwapsEngineUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	pathA := modelFile(t, dir, 21)
+	pathB := modelFile(t, dir, 22)
+
+	f, err := os.Open(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := slide.LoadModel(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(net, serverOptions{BatchWindow: time.Millisecond, ModelPath: pathA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+
+	// Concurrent clients keep predicting across the swap.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"indices":[%d,%d],"values":[1.0,0.5],"k":2,"sampled":%v}`,
+					(c+i)%64, (c*7+i)%64, c%2 == 0)
+				code, pr, err := tryPostPredict(ts.URL, body)
+				if err != nil {
+					t.Errorf("client %d: %v mid-reload", c, err)
+					return
+				}
+				if code != http.StatusOK {
+					t.Errorf("client %d: status %d mid-reload", c, code)
+					return
+				}
+				if len(pr.IDs) != 2 {
+					t.Errorf("client %d: %d ids mid-reload", c, len(pr.IDs))
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Swap to model B by explicit path, then back to the default (-model)
+	// path with an empty body, all under load.
+	code, rep := postJSON(t, ts.URL+"/reload", fmt.Sprintf(`{"model":%q}`, pathB))
+	if code != http.StatusOK {
+		t.Fatalf("reload to B: status %d: %v", code, rep)
+	}
+	if rep["model"] != pathB {
+		t.Fatalf("reload reported model %v, want %s", rep["model"], pathB)
+	}
+	code, rep = postJSON(t, ts.URL+"/reload", ``)
+	if code != http.StatusOK {
+		t.Fatalf("default-path reload: status %d: %v", code, rep)
+	}
+	if rep["model"] != pathA {
+		t.Fatalf("default-path reload loaded %v, want %s", rep["model"], pathA)
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["model"] != pathA || health["reloads"] != float64(2) {
+		t.Fatalf("healthz after reloads = %v", health)
+	}
+
+	// Error paths: missing file is a server-side failure, not a crash.
+	code, _ = postJSON(t, ts.URL+"/reload", `{"model":"/nonexistent.slide"}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("reload of missing file: status %d, want 500", code)
+	}
+}
+
+// TestReloadWithoutModelPath: a server started from an in-memory network
+// (no -model) refuses a path-less reload instead of crashing.
+func TestReloadWithoutModelPath(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: 0})
+	code, rep := postJSON(t, ts.URL+"/reload", ``)
+	if code != http.StatusBadRequest {
+		t.Fatalf("path-less reload: status %d (%v), want 400", code, rep)
+	}
+}
+
+// TestPredictBatchEndpoint: the bulk endpoint returns one result per
+// vector, matches the single-request exact path elementwise, and is
+// deterministic under a seed in sampled mode.
+func TestPredictBatchEndpoint(t *testing.T) {
+	ts := startServer(t, serverOptions{BatchWindow: 0})
+
+	body := `{"batch":[
+		{"indices":[1,7,33],"values":[1.0,0.5,2.0]},
+		{"indices":[2,5],"values":[1.0,1.0]},
+		{"indices":[60,61,62],"values":[0.5,0.5,0.5]}],"k":3}`
+	code, rep := postJSON(t, ts.URL+"/predict/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, rep)
+	}
+	if rep["mode"] != "exact" || rep["count"] != float64(3) {
+		t.Fatalf("batch response header = %v", rep)
+	}
+	results := rep["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("%d results for 3 inputs", len(results))
+	}
+	// Element 0 must match the single-request exact path bit for bit.
+	code, single := postPredict(t, ts.URL, `{"indices":[1,7,33],"values":[1.0,0.5,2.0],"k":3}`)
+	if code != http.StatusOK {
+		t.Fatalf("single: status %d", code)
+	}
+	first := results[0].(map[string]any)
+	gotIDs := first["ids"].([]any)
+	if len(gotIDs) != len(single.IDs) {
+		t.Fatalf("batch[0] %d ids vs single %d", len(gotIDs), len(single.IDs))
+	}
+	for i, id := range gotIDs {
+		if int32(id.(float64)) != single.IDs[i] {
+			t.Fatalf("batch[0] ids %v diverge from single %v", gotIDs, single.IDs)
+		}
+	}
+
+	// Seeded sampled batches are reproducible end to end.
+	seeded := `{"batch":[
+		{"indices":[1,7,33],"values":[1.0,0.5,2.0]},
+		{"indices":[2,5],"values":[1.0,1.0]}],"k":3,"sampled":true,"seed":99}`
+	code, repA := postJSON(t, ts.URL+"/predict/batch", seeded)
+	codeB, repB := postJSON(t, ts.URL+"/predict/batch", seeded)
+	if code != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("seeded batch statuses %d/%d", code, codeB)
+	}
+	if repA["mode"] != "sampled" {
+		t.Fatalf("seeded batch mode = %v", repA["mode"])
+	}
+	if !reflect.DeepEqual(repA["results"], repB["results"]) {
+		t.Fatalf("identical seeded batch requests diverged:\n%v\nvs\n%v", repA["results"], repB["results"])
+	}
+
+	// Validation.
+	for name, bad := range map[string]string{
+		"empty batch":     `{"batch":[]}`,
+		"empty vector":    `{"batch":[{"indices":[],"values":[]}]}`,
+		"length mismatch": `{"batch":[{"indices":[1,2],"values":[1.0]}]}`,
+		"out of range":    `{"batch":[{"indices":[9999],"values":[1.0]}]}`,
+	} {
+		code, _ := postJSON(t, ts.URL+"/predict/batch", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
 	}
 }

@@ -204,6 +204,15 @@ type TrainConfig struct {
 	// OnEval, when set, observes each evaluation point as it is
 	// recorded.
 	OnEval func(Point)
+
+	// SyncRebuild forces scheduled hash-table rebuilds to run inline,
+	// stopping the training loop for the whole reconstruction (the
+	// pre-async behavior, kept for comparison runs — see
+	// TrainResult.RebuildStallNS). The default is the non-blocking
+	// lifecycle: rebuilds prepare a weight snapshot at a batch boundary,
+	// build a shadow table set on a background goroutine while batches
+	// keep running, and publish it atomically at a later boundary.
+	SyncRebuild bool
 }
 
 func (tc TrainConfig) withDefaults(trainSize int) TrainConfig {

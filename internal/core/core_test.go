@@ -263,11 +263,11 @@ func TestRebuildTracksWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := n.layers[1].tables.Stats()
+	before := n.layers[1].Tables().Stats()
 	if _, err := n.Train(ds.Train, ds.Test, TrainConfig{Iterations: 60, EvalEvery: 0, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	after := n.layers[1].tables.Stats()
+	after := n.layers[1].Tables().Stats()
 	if before.TotalStored == 0 || after.TotalStored == 0 {
 		t.Fatalf("tables empty: before %+v after %+v", before, after)
 	}

@@ -93,12 +93,12 @@ func (n *Network) Evaluate(test []dataset.Example, samples, threads int, ks ...i
 			}
 			for _, kk := range ks {
 				hits := 0
-				for _, c := range top[:minInt(kk, len(top))] {
+				for _, c := range top[:min(kk, len(top))] {
 					if containsSortedLabel(ex.Labels, c) {
 						hits++
 					}
 				}
-				pk[kk] += float64(hits) / float64(maxInt(kk, 1))
+				pk[kk] += float64(hits) / float64(max(kk, 1))
 			}
 		}
 		pks[w] = pk

@@ -68,7 +68,10 @@ func (n *Network) selectActive(st *elemState, li int, inIds []int32, inVals []fl
 		// directly.
 		l.fam.HashSparse(sparse.Vector{Dim: l.in, Idx: inIds, Val: inVals}, codes)
 	}
-	st.sampleBuf = st.strategies[li].Sample(st.sampleBuf[:0], l.tables, codes)
+	// Load the layer's current table set once per query: a background
+	// rebuild may publish a new generation mid-pass, but this query
+	// completes coherently on whichever set it loaded.
+	st.sampleBuf = st.strategies[li].Sample(st.sampleBuf[:0], l.tables.Load(), codes)
 	ls.reset(false, len(st.sampleBuf)+len(labels))
 	for _, id := range st.sampleBuf {
 		if !st.markSeen(li, int32(id)) {
@@ -150,7 +153,7 @@ func outputDeltaAndLoss(ls *layerState, labels []int32) float64 {
 		p := ls.vals[a]
 		if containsSortedLabel(labels, pos(a)) {
 			ls.delta[a] = p - invLab
-			loss -= float64(invLab) * math.Log(float64(maxf(p, 1e-30)))
+			loss -= float64(invLab) * math.Log(float64(max(p, 1e-30)))
 		} else {
 			ls.delta[a] = p
 		}
@@ -172,11 +175,4 @@ func containsSortedLabel(labels []int32, c int32) bool {
 		}
 	}
 	return false
-}
-
-func maxf(a, b float32) float32 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/hashtable"
 	"repro/internal/lsh"
 )
 
@@ -37,7 +38,7 @@ type rehashMemo struct {
 // weight diffs.
 func (n *Network) EnableIncrementalRehash(li int) error {
 	l := n.layers[li]
-	if l.tables == nil {
+	if !l.Sampled() {
 		return errNotSampled(li)
 	}
 	sh, ok := l.fam.(*lsh.IncrementalSimhash)
@@ -58,15 +59,15 @@ func (n *Network) EnableIncrementalRehash(li int) error {
 	return nil
 }
 
-// rebuildIncremental refreshes projections for changed rows and reinserts
-// all neurons from the memoized codes.
-func (l *Layer) rebuildIncremental(workers int) {
+// diffIncremental is the memo layer's synchronous rebuild phase: it
+// sparse-diffs each weight row against its snapshot and folds the deltas
+// into the memoized projections, parallel over neurons (private rows). It
+// must run at a batch boundary (weights quiesced); afterwards the
+// projections are read-only until the rebuild publishes, so the insert
+// phase may run on a background goroutine.
+func (l *Layer) diffIncremental(workers int) {
 	memo := l.memo
 	nf := l.fam.NumFuncs()
-	l.tables.Clear()
-
-	// Phase 1: sparse-diff each row against its snapshot and update the
-	// memoized projections; parallel over neurons (private rows).
 	parallelIndexed(workers, l.out, func(w, lo, hi int) {
 		var dIdx []int32
 		var dVal []float32
@@ -86,11 +87,16 @@ func (l *Layer) rebuildIncremental(workers int) {
 			}
 		}
 	})
+}
 
-	// Phase 2: derive codes from projections and insert, parallel over
-	// tables (as in the standard rebuild).
+// insertFromMemo derives every neuron's codes from the (quiesced)
+// memoized projections and inserts them into dst, parallel over tables
+// (as in the standard rebuild). It reads no live training state.
+func (l *Layer) insertFromMemo(dst *hashtable.Table, workers int) {
+	memo := l.memo
+	nf := l.fam.NumFuncs()
 	for base := 0; base < l.out; base += rebuildChunk {
-		nRows := minInt(rebuildChunk, l.out-base)
+		nRows := min(rebuildChunk, l.out-base)
 		codes := make([]uint32, nRows*nf)
 		parallelRange(workers, nRows, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
@@ -98,11 +104,10 @@ func (l *Layer) rebuildIncremental(workers int) {
 				memo.sh.CodesFromProjections(memo.proj[j*nf:(j+1)*nf], codes[r*nf:(r+1)*nf])
 			}
 		})
-		lt := l.tables
-		parallelRange(minInt(workers, lt.L()), lt.L(), func(lo, hi int) {
+		parallelRange(min(workers, dst.L()), dst.L(), func(lo, hi int) {
 			for ti := lo; ti < hi; ti++ {
 				for r := 0; r < nRows; r++ {
-					lt.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
+					dst.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
 				}
 			}
 		})

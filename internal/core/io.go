@@ -188,6 +188,10 @@ func (n *Network) Load(r io.Reader) error {
 	if err := n.readWeights(br); err != nil {
 		return err
 	}
+	// Restore to generation 1 exactly like LoadModel, so every restore
+	// path yields identical reservoir streams (replica-to-replica
+	// determinism) no matter how many builds the receiver ran before.
+	n.rebuildGen = 0
 	n.RebuildTables(0)
 	return nil
 }

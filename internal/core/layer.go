@@ -45,11 +45,22 @@ type Layer struct {
 	batchEpoch uint32
 
 	// fam and tables implement the adaptive sampling; nil for dense
-	// layers. memo, when non-nil, holds incremental Simhash re-hash
+	// layers. tables is a swappable handle: rebuilds construct a detached
+	// shadow table set and publish it atomically, so forward passes and
+	// Predictor queries stay valid mid-rebuild on whichever set they
+	// loaded. memo, when non-nil, holds incremental Simhash re-hash
 	// state (§4.2 trick 3; see incremental.go).
 	fam    lsh.Family
-	tables *hashtable.Table
+	tables *hashtable.Handle
 	memo   *rehashMemo
+
+	// snapBuf is the reusable weight-snapshot buffer for detached
+	// rebuilds. At most one rebuild is in flight per network (the train
+	// loop owns the pending build), so the buffer is free for reuse by
+	// the time the next prepare runs. It trades one resident weight copy
+	// per training sampled layer — the same trade the rehashMemo makes —
+	// for not allocating out*in floats of garbage on every rebuild.
+	snapBuf []float32
 }
 
 // newLayer builds an initialized layer. Weight initialization is He-style
@@ -109,7 +120,7 @@ func newLayer(idx, in int, cfg LayerConfig, netCfg Config, ar *arena.Arena, seed
 			return nil, fmt.Errorf("core: layer %d: %w", idx, err)
 		}
 		l.fam = fam
-		l.tables, err = hashtable.New(hashtable.Config{
+		tables, err := hashtable.New(hashtable.Config{
 			K:          cfg.K,
 			L:          cfg.L,
 			CodeBits:   fam.CodeBits(),
@@ -121,6 +132,7 @@ func newLayer(idx, in int, cfg LayerConfig, netCfg Config, ar *arena.Arena, seed
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %d: %w", idx, err)
 		}
+		l.tables = hashtable.NewHandle(tables)
 	}
 	return l, nil
 }
@@ -134,9 +146,16 @@ func (l *Layer) Out() int { return l.out }
 // Sampled reports whether the layer uses LSH sampling.
 func (l *Layer) Sampled() bool { return l.tables != nil }
 
-// Tables exposes the layer's hash tables (nil for dense layers), for
-// diagnostics and experiments.
-func (l *Layer) Tables() *hashtable.Table { return l.tables }
+// Tables exposes the layer's current hash table set (nil for dense
+// layers), for diagnostics and experiments. During a background rebuild
+// the returned set is the last published one; it stays valid after a
+// swap.
+func (l *Layer) Tables() *hashtable.Table {
+	if l.tables == nil {
+		return nil
+	}
+	return l.tables.Load()
+}
 
 // Weights returns neuron j's weight row. The row aliases live training
 // state.
@@ -149,59 +168,108 @@ func (l *Layer) Bias(j int) float32 { return l.b[j] }
 // it bounds the transient code-matrix memory at chunk*K*L*4 bytes.
 const rebuildChunk = 4096
 
-// RebuildTables recomputes every neuron's hash codes from its current
-// weights and reinserts all ids (§4.2 "Updating Overhead": SLIDE
-// periodically reconstructs the tables rather than moving ids on every
-// update). Hashing parallelizes over neurons and insertion over tables,
-// exactly the two lock-free axes §3.1 identifies.
-func (l *Layer) RebuildTables(workers int) {
+// Table lifecycle (§4.2 "Updating Overhead", made non-blocking): a
+// rebuild never mutates the live table set. It (1) prepares a read-only
+// view of the weights at a batch boundary — a chunked snapshot copy, or
+// for memo layers a sparse projection diff — then (2) hashes and inserts
+// every neuron into a detached generation-seeded shadow set, and (3)
+// publishes the shadow with one atomic handle store. Only step (1) has to
+// run while training is quiesced; steps (2)-(3) are safe concurrently
+// with HOGWILD weight writes and with live Predictor traffic, which is
+// what lets Network overlap the expensive build with training batches.
+
+// rebuildSync runs the full lifecycle inline: prepare, build the
+// generation-gen shadow from the live rows, publish.
+func (l *Layer) rebuildSync(gen uint64, workers int) {
 	if l.tables == nil {
 		return
 	}
-	if l.memo != nil {
-		l.rebuildIncremental(workers)
-		return
-	}
-	l.tables.Clear()
-	l.insertAll(workers, nil, nil)
+	snap := l.prepareRebuild(workers, false)
+	l.tables.Store(l.buildShadow(gen, snap, workers))
 }
 
-// insertAll hashes all neurons in chunks and inserts them. When hashNS and
-// insertNS are non-nil they receive the nanoseconds spent hashing and
-// inserting (used by the Table 3 experiment).
-func (l *Layer) insertAll(workers int, hashNS, insertNS *int64) {
+// prepareRebuild is the synchronous (quiesced-weights) part of a rebuild.
+// For memo layers it folds the sparse weight diff into the memoized
+// projections and returns nil; otherwise, when copy is set, it snapshots
+// the weight rows into a fresh flat buffer for a detached build. Callers
+// building inline pass copy=false and hash the live rows directly — with
+// no concurrent writers the result is identical to building from the
+// snapshot.
+func (l *Layer) prepareRebuild(workers int, copySnap bool) []float32 {
+	if l.memo != nil {
+		l.diffIncremental(workers)
+		return nil
+	}
+	if !copySnap {
+		return nil
+	}
+	return l.snapshotRows(workers)
+}
+
+// snapshotRows copies every neuron's weight row into the layer's flat
+// out*in snapshot buffer, parallelized across workers. It must run at a
+// batch boundary (training workers quiesced): the copy is then the only
+// part of an asynchronous rebuild that reads live weights, which keeps
+// the detached build race-free against HOGWILD writers by construction —
+// and it is the only synchronous cost the async lifecycle leaves in the
+// training loop, so it is one parallel pass with a single join and no
+// steady-state allocation.
+func (l *Layer) snapshotRows(workers int) []float32 {
+	if l.snapBuf == nil {
+		l.snapBuf = make([]float32, l.out*l.in)
+	}
+	snap := l.snapBuf
+	parallelRange(workers, l.out, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			copy(snap[j*l.in:(j+1)*l.in], l.w[j])
+		}
+	})
+	return snap
+}
+
+// buildShadow constructs the generation-gen shadow table set without
+// publishing it. For memo layers codes come from the (quiesced) memoized
+// projections; otherwise rows come from snap when non-nil or the live
+// weight rows when nil. Building from a snapshot (or memo) touches no
+// live training state, so it may run on a background goroutine while
+// training and inference continue on the published set.
+func (l *Layer) buildShadow(gen uint64, snap []float32, workers int) *hashtable.Table {
+	shadow := l.tables.Load().Shadow(gen)
+	if l.memo != nil {
+		l.insertFromMemo(shadow, workers)
+		return shadow
+	}
+	row := func(j int) []float32 { return l.w[j] }
+	if snap != nil {
+		row = func(j int) []float32 { return snap[j*l.in : (j+1)*l.in] }
+	}
+	l.insertAll(shadow, row, workers)
+	return shadow
+}
+
+// insertAll hashes all rows in chunks and inserts them into dst. Hashing
+// parallelizes over neurons and insertion over tables, exactly the two
+// lock-free axes §3.1 identifies.
+func (l *Layer) insertAll(dst *hashtable.Table, row func(j int) []float32, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
 	nf := l.fam.NumFuncs()
 	codes := make([]uint32, rebuildChunk*nf)
 	for base := 0; base < l.out; base += rebuildChunk {
-		n := l.out - base
-		if n > rebuildChunk {
-			n = rebuildChunk
-		}
-		start := nowNano()
+		n := min(rebuildChunk, l.out-base)
 		parallelRange(workers, n, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
-				l.fam.HashDense(l.w[base+r], codes[r*nf:(r+1)*nf])
+				l.fam.HashDense(row(base+r), codes[r*nf:(r+1)*nf])
 			}
 		})
-		mid := nowNano()
-		lt := l.tables
-		parallelRange(minInt(workers, lt.L()), lt.L(), func(lo, hi int) {
+		parallelRange(min(workers, dst.L()), dst.L(), func(lo, hi int) {
 			for ti := lo; ti < hi; ti++ {
 				for r := 0; r < n; r++ {
-					lt.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
+					dst.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
 				}
 			}
 		})
-		end := nowNano()
-		if hashNS != nil {
-			*hashNS += mid - start
-		}
-		if insertNS != nil {
-			*insertNS += end - mid
-		}
 	}
 }
 
@@ -228,18 +296,4 @@ func parallelRange(workers, n int, f func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

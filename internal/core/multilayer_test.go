@@ -109,8 +109,15 @@ func TestSampledInference(t *testing.T) {
 }
 
 // TestManyThreadsStress hammers the racy HOGWILD path with more workers
-// than batch elements; training must stay finite and keep learning.
+// than batch elements; training must stay finite and keep learning. Not
+// run under -race: the whole point of the test is the §3.1
+// unsynchronized gradient writes, which the detector (correctly) reports
+// as data races — the race step covers the paths whose contract is
+// race-freedom (Predictor, table handle swaps, background rebuilds).
 func TestManyThreadsStress(t *testing.T) {
+	if raceEnabled {
+		t.Skip("deliberately exercises the documented-benign HOGWILD races")
+	}
 	classes := 128
 	ds := tinyDataset(t, classes)
 	n, err := NewNetwork(tinyConfig(classes))

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/arena"
+	"repro/internal/hashtable"
 	"repro/internal/metrics"
 	"repro/internal/optim"
 	"repro/internal/sparse"
@@ -17,7 +18,12 @@ type Point = metrics.Point
 // Network is a SLIDE network (Algorithm 1): layers with weights, Adam
 // state and per-layer LSH tables. Construct with NewNetwork; the tables
 // are built once from the initial weights (§3.1 "Initialization") and
-// rebuilt on the exponential-decay schedule during training.
+// rebuilt on the exponential-decay schedule during training. Scheduled
+// rebuilds are non-blocking by default: a shadow table set is built on a
+// background goroutine from a batch-boundary weight snapshot and
+// published with an atomic handle swap, so training batches and
+// concurrent inference keep running on the previous set mid-rebuild
+// (TrainConfig.SyncRebuild restores the stop-the-world path).
 type Network struct {
 	cfg    Config
 	layers []*Layer
@@ -27,6 +33,24 @@ type Network struct {
 	step     int64 // completed training iterations (batches)
 	rebuilds int   // completed table rebuilds
 	nextAt   int64 // iteration of the next scheduled rebuild
+
+	// rebuildGen numbers table-set generations: every build — the
+	// construction-time build, synchronous rebuilds, background shadow
+	// builds — gets the next generation, which seeds its reservoir
+	// streams. A generation's tables are a pure function of (weights
+	// snapshot, config, generation), so a detached build is bit-identical
+	// to a synchronous one from the same snapshot.
+	rebuildGen uint64
+	// pending is the in-flight background rebuild, nil when idle. Owned
+	// by the training loop: only rebuildTick creates, publishes and
+	// clears it.
+	pending *pendingRebuild
+	// rebuildStallNS / rebuildBuildNS account the lifecycle's cost since
+	// construction: loop-blocking time (snapshot copies and swap
+	// publication; entire rebuilds in sync mode) vs. background build
+	// time overlapped with training.
+	rebuildStallNS int64
+	rebuildBuildNS int64
 
 	// touchedWeights counts gradient cells applied across all batches —
 	// the sparse-gradient communication payload of a distributed
@@ -106,32 +130,134 @@ func (n *Network) NumParams() int64 {
 	return p
 }
 
-// RebuildTables rebuilds every sampled layer's tables from current
-// weights. workers <= 0 selects GOMAXPROCS.
+// RebuildTables synchronously rebuilds every sampled layer's tables from
+// current weights: each layer builds a next-generation shadow set inline
+// and publishes it. workers <= 0 selects GOMAXPROCS.
 func (n *Network) RebuildTables(workers int) {
 	if workers <= 0 {
 		workers = defaultThreads()
 	}
+	n.rebuildGen++
 	for _, l := range n.layers {
-		l.RebuildTables(workers)
+		l.rebuildSync(n.rebuildGen, workers)
 	}
 	n.rebuilds++
 }
 
-// maybeRebuild applies the §4.2 exponential-decay schedule: the first
-// rebuild happens N0 iterations in, and the t-th gap is N0*exp(lambda*t),
-// so rebuilds become rarer as gradients shrink toward convergence.
+// maybeRebuild applies the §4.2 exponential-decay schedule with a
+// synchronous (stop-the-world) rebuild: the first rebuild happens N0
+// iterations in, and the t-th gap is N0*exp(lambda*t), so rebuilds become
+// rarer as gradients shrink toward convergence.
 func (n *Network) maybeRebuild(workers int) bool {
 	if n.step < n.nextAt {
 		return false
 	}
 	n.RebuildTables(workers)
+	n.scheduleNextRebuild()
+	return true
+}
+
+// scheduleNextRebuild advances nextAt by the §4.2 exponential-decay gap.
+func (n *Network) scheduleNextRebuild() {
 	gap := float64(n.cfg.RebuildN0) * math.Exp(n.cfg.RebuildLambda*float64(n.rebuilds))
 	if gap < 1 {
 		gap = 1
 	}
 	n.nextAt = n.step + int64(gap)
-	return true
+}
+
+// pendingRebuild is one in-flight background table build: the shadow sets
+// under construction and the completion signal.
+type pendingRebuild struct {
+	done    chan struct{}
+	shadows []*hashtable.Table // by layer index; nil for dense layers
+	buildNS int64              // wall-clock spent building, overlapped with training
+}
+
+// rebuildTick drives the non-blocking table lifecycle at a batch
+// boundary. If a background build finished, its shadows are published
+// (one atomic store per layer) and the next rebuild scheduled; otherwise,
+// when the §4.2 schedule is due and nothing is in flight, the synchronous
+// prepare step runs (memo diffs, weight snapshot copies) and the build is
+// kicked onto a background goroutine. The time the training loop is
+// blocked here — by design only the prepare/publish cost, never the
+// build itself — accumulates into n.rebuildStallNS.
+func (n *Network) rebuildTick(workers int) {
+	if n.pending != nil {
+		select {
+		case <-n.pending.done:
+			t0 := nowNano()
+			n.publishPending()
+			n.rebuildStallNS += nowNano() - t0
+		default:
+			// Build still running; keep training on the old set.
+		}
+		return
+	}
+	if n.step < n.nextAt {
+		return
+	}
+	t0 := nowNano()
+	n.startBackgroundRebuild(workers)
+	n.rebuildStallNS += nowNano() - t0
+}
+
+// startBackgroundRebuild runs every sampled layer's synchronous prepare
+// step, then launches one goroutine that builds all shadow sets from the
+// prepared state. The build touches only snapshots, quiesced memo
+// projections and its own detached tables, so it is race-free against
+// training workers and live Predictor traffic.
+func (n *Network) startBackgroundRebuild(workers int) {
+	n.rebuildGen++
+	gen := n.rebuildGen
+	p := &pendingRebuild{
+		done:    make(chan struct{}),
+		shadows: make([]*hashtable.Table, len(n.layers)),
+	}
+	snaps := make([][]float32, len(n.layers))
+	for li, l := range n.layers {
+		if !l.Sampled() {
+			continue
+		}
+		snaps[li] = l.prepareRebuild(workers, true)
+	}
+	n.pending = p
+	go func() {
+		t0 := nowNano()
+		for li, l := range n.layers {
+			if !l.Sampled() {
+				continue
+			}
+			p.shadows[li] = l.buildShadow(gen, snaps[li], workers)
+		}
+		p.buildNS = nowNano() - t0
+		close(p.done)
+	}()
+}
+
+// publishPending swaps every finished shadow in and schedules the next
+// rebuild. Must only be called once pending.done is closed.
+func (n *Network) publishPending() {
+	for li, shadow := range n.pending.shadows {
+		if shadow != nil {
+			n.layers[li].tables.Store(shadow)
+		}
+	}
+	n.rebuildBuildNS += n.pending.buildNS
+	n.pending = nil
+	n.rebuilds++
+	n.scheduleNextRebuild()
+}
+
+// finishPendingRebuild waits for an in-flight background build and
+// publishes it, so a network is never left with a dangling builder after
+// training returns.
+func (n *Network) finishPendingRebuild() {
+	if n.pending == nil {
+		return
+	}
+	<-n.pending.done
+	n.publishPending()
 }
 
 // Predict runs an exact (all neurons active) forward pass and returns the

@@ -26,7 +26,11 @@ const predictSeed = 0x9ed1c7
 // Predict/PredictBatch calls are race-free. Predicting concurrently with
 // Train shares the weights with HOGWILD updates and inherits the paper's
 // weak-consistency argument: reads may observe partially applied updates
-// but never corrupt state.
+// but never corrupt state. Hash tables are read through each layer's
+// atomically swapped handle, so inference stays valid in the middle of a
+// background table rebuild: a query runs coherently on whichever table
+// generation it loaded, and the swap to the next generation is invisible
+// to in-flight passes.
 type Predictor struct {
 	n    *Network
 	pool sync.Pool // stores *elemState; empty Get returns nil
@@ -162,7 +166,7 @@ func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int,
 		return nil, nil, err
 	}
 	seeded := mode == modeEvalSampled && len(opts) > 0
-	workers := minInt(defaultThreads(), len(xs))
+	workers := min(defaultThreads(), len(xs))
 	states, err := p.acquireStates(workers, seeded)
 	if err != nil {
 		return nil, nil, err

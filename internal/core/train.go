@@ -32,8 +32,20 @@ type TrainResult struct {
 	MeanActive []float64
 	// Utilization is the mean worker busy fraction (Table 2 analog).
 	Utilization float64
-	// Rebuilds counts scheduled hash-table reconstructions.
+	// Rebuilds counts the hash-table reconstructions published during
+	// this run.
 	Rebuilds int
+	// RebuildStallNS is the nanoseconds this run's training loop spent
+	// blocked on table maintenance. In the default asynchronous lifecycle
+	// that is only the batch-boundary snapshot copies (plus the atomic
+	// swap publication); with SyncRebuild it is the entire stop-the-world
+	// rebuild time. The §4.2 "Updating Overhead" analog: paper SLIDE
+	// amortizes rebuilds by scheduling them rarely, this system
+	// additionally takes them off the critical path.
+	RebuildStallNS int64
+	// RebuildBuildNS is the nanoseconds background shadow builds spent
+	// overlapped with training batches (zero with SyncRebuild).
+	RebuildBuildNS int64
 	// TouchedPerIter is the mean number of weight cells that received a
 	// gradient per iteration — the sparse payload a distributed replica
 	// would communicate, vs NumParams for a dense synchronization (§6).
@@ -128,6 +140,8 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	order := rng.NewStream(tc.Seed, 0x0d3).Perm(len(train))
 	evalIdx := evalSubset(test, tc.EvalSamples, tc.Seed)
 	touchedStart := n.touchedWeights
+	rebuildsStart := n.rebuilds
+	stallStart, buildStart := n.rebuildStallNS, n.rebuildBuildNS
 
 	res := &TrainResult{Curve: metrics.Curve{Name: "p@1"}}
 	var trainNS int64
@@ -177,7 +191,14 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		}
 		n.applyAdamBatch(alpha, 1/float32(len(batch)), workers)
 		n.step++
-		n.maybeRebuild(workers)
+		if tc.SyncRebuild {
+			r0 := nowNano()
+			if n.maybeRebuild(workers) {
+				n.rebuildStallNS += nowNano() - r0
+			}
+		} else {
+			n.rebuildTick(workers)
+		}
 		trainNS += nowNano() - t0
 
 		if tc.EvalEvery > 0 && (n.step-start)%tc.EvalEvery == 0 {
@@ -191,6 +212,14 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		}
 	}
 
+	// A background shadow build may still be in flight when the loop
+	// exits (cancellation, time budget, or the schedule firing near the
+	// end); wait for it and publish so the network's tables always
+	// reflect the last kicked rebuild and no builder goroutine outlives
+	// the run. The wait is not charged to the training clock — the loop
+	// is done competing with it.
+	n.finishPendingRebuild()
+
 	// Final evaluation unless the loop ended exactly on an eval. A
 	// cancelled run skips it: the caller asked to stop, and evaluation
 	// can be expensive.
@@ -201,7 +230,9 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	res.Iterations = n.step - start
 	res.Seconds = float64(trainNS) / 1e9
 	res.FinalAcc = res.Curve.Last().Value
-	res.Rebuilds = n.rebuilds
+	res.Rebuilds = n.rebuilds - rebuildsStart
+	res.RebuildStallNS = n.rebuildStallNS - stallStart
+	res.RebuildBuildNS = n.rebuildBuildNS - buildStart
 	if res.Iterations > 0 {
 		res.TouchedPerIter = float64(n.touchedWeights-touchedStart) / float64(res.Iterations)
 	}

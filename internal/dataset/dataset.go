@@ -190,12 +190,12 @@ func scaleProfile(p Profile, scale float64) Profile {
 	}
 	root := math.Sqrt(scale)
 	p.Name = fmt.Sprintf("%s@%.4g", p.Name, scale)
-	p.FeatureDim = maxInt(64, int(float64(p.FeatureDim)*scale))
-	p.NumClasses = maxInt(16, int(float64(p.NumClasses)*scale))
-	p.TrainSize = maxInt(64, int(float64(p.TrainSize)*scale))
-	p.TestSize = maxInt(32, int(float64(p.TestSize)*scale))
+	p.FeatureDim = max(64, int(float64(p.FeatureDim)*scale))
+	p.NumClasses = max(16, int(float64(p.NumClasses)*scale))
+	p.TrainSize = max(64, int(float64(p.TrainSize)*scale))
+	p.TestSize = max(32, int(float64(p.TestSize)*scale))
 	p.AvgFeatures = clampInt(int(float64(p.AvgFeatures)*root), 4, p.FeatureDim/2)
-	p.AvgLabels = clampInt(int(float64(p.AvgLabels)*root), 1, maxInt(1, p.NumClasses/8))
+	p.AvgLabels = clampInt(int(float64(p.AvgLabels)*root), 1, max(1, p.NumClasses/8))
 	p.ProtoNNZ = clampInt(int(float64(p.ProtoNNZ)*root), 4, p.FeatureDim/2)
 	return p
 }
@@ -282,7 +282,7 @@ func genExample(p Profile, protos []prototype, r *rng.RNG) Example {
 	// Features: a noisy subset of each label's prototype plus background
 	// noise, L2-normalized (SLIDE's Simhash is a cosine LSH).
 	signal := p.AvgFeatures - int(float64(p.AvgFeatures)*p.NoiseFrac)
-	perLabel := maxInt(2, signal/len(labels))
+	perLabel := max(2, signal/len(labels))
 	fIdx := make([]int32, 0, p.AvgFeatures+8)
 	fVal := make([]float32, 0, p.AvgFeatures+8)
 	for _, c := range labels {
@@ -353,13 +353,6 @@ func absf(x float32) float32 {
 		return -x
 	}
 	return x
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func clampInt(x, lo, hi int) int {

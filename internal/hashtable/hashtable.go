@@ -15,6 +15,7 @@ package hashtable
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -136,12 +137,24 @@ type bucket struct {
 	start int    // offset into Table.ids
 }
 
-// New creates an empty table set.
+// New creates an empty table set at generation zero.
 func New(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return newTable(cfg, 0), nil
+}
+
+// genSeedMix folds a rebuild generation into the reservoir seed space, so
+// every generation's replacement decisions come from a fresh stream (no
+// generation repeats another) while staying a pure function of (seed, gen).
+const genSeedMix = 0xd1b54a32d192ed03
+
+// newTable builds an empty table set from an already-validated config.
+// gen selects the reservoir stream family: generation 0 reproduces the
+// historical New seeding exactly.
+func newTable(cfg Config, gen uint64) *Table {
 	t := &Table{
 		cfg:        cfg,
 		numBuckets: 1 << cfg.RangePow,
@@ -155,9 +168,20 @@ func New(cfg Config) (*Table, error) {
 	}
 	t.insertRNG = make([]*rng.RNG, cfg.L)
 	for i := range t.insertRNG {
-		t.insertRNG[i] = rng.NewStream(cfg.Seed, uint64(i)+0x7ab1e)
+		t.insertRNG[i] = rng.NewStream(cfg.Seed^gen*genSeedMix, uint64(i)+0x7ab1e)
 	}
-	return t, nil
+	return t
+}
+
+// Shadow returns a new empty table set with the same configuration whose
+// reservoir streams are derived from gen. A generation-g build is a pure
+// function of (config, gen, insertion sequence): building the same ids in
+// the same order into two generation-g shadows — inline or on a background
+// goroutine — yields bucket-for-bucket identical tables. This is the
+// detached target of the non-blocking rebuild lifecycle: build a shadow
+// off the hot path, then publish it through a Handle.
+func (t *Table) Shadow(gen uint64) *Table {
+	return newTable(t.cfg, gen)
 }
 
 // Config returns the (defaulted) configuration of the table set.
@@ -233,8 +257,68 @@ func (t *Table) Bucket(ti int, codes []uint32) []uint32 {
 	return t.ids[b.start : b.start+int(b.len)]
 }
 
-// Clear empties all buckets, retaining capacity. The reservoir streams are
-// not reset so rebuilds never repeat replacement decisions.
+// BucketAt returns the ids stored in bucket bi of table ti, for
+// diagnostics and table comparison. The slice aliases internal storage.
+func (t *Table) BucketAt(ti, bi int) []uint32 {
+	b := &t.buckets[ti*t.numBuckets+bi]
+	return t.ids[b.start : b.start+int(b.len)]
+}
+
+// Equal reports whether two table sets share the same configuration and
+// bucket-for-bucket identical contents, including entry order and the
+// reservoir insertion counters — the equivalence a detached shadow build
+// must satisfy against a synchronous rebuild from the same snapshot.
+func (t *Table) Equal(o *Table) bool {
+	if o == nil || t.cfg != o.cfg {
+		return false
+	}
+	for i := range t.buckets {
+		a, b := &t.buckets[i], &o.buckets[i]
+		if a.len != b.len || a.seen != b.seen {
+			return false
+		}
+		for k := 0; k < int(a.len); k++ {
+			if t.ids[a.start+k] != o.ids[b.start+k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Handle is an atomically swappable reference to a Table — the published
+// side of the non-blocking rebuild lifecycle. Readers Load the current
+// table set and keep querying it for the duration of one operation while
+// a writer publishes a replacement with Store or Swap; a superseded set
+// stays fully valid (nothing is freed or cleared) until its readers
+// drain, so queries never block on table maintenance.
+type Handle struct {
+	p atomic.Pointer[Table]
+}
+
+// NewHandle returns a handle initially referencing t.
+func NewHandle(t *Table) *Handle {
+	h := &Handle{}
+	h.p.Store(t)
+	return h
+}
+
+// Load returns the current table set. The result is stable for as long as
+// the caller holds it, even across concurrent swaps.
+func (h *Handle) Load() *Table { return h.p.Load() }
+
+// Store publishes t as the current table set.
+func (h *Handle) Store(t *Table) { h.p.Store(t) }
+
+// Swap publishes t and returns the superseded table set.
+func (h *Handle) Swap(t *Table) *Table { return h.p.Swap(t) }
+
+// Clear empties all buckets, retaining capacity, without resetting the
+// reservoir streams. Offline builders that reuse one table (BuildParallel)
+// keep their replacement decisions advancing across builds; the training
+// rebuild lifecycle does not use Clear — it builds fresh generation-seeded
+// Shadow sets whose decisions are deliberately reproducible per
+// generation.
 func (t *Table) Clear() {
 	for i := range t.buckets {
 		t.buckets[i].len = 0

@@ -2,6 +2,7 @@ package hashtable
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -229,4 +230,122 @@ func TestMixedAddressingSpreads(t *testing.T) {
 	if len(seen) < 300 {
 		t.Fatalf("mixed addressing hit only %d distinct buckets in 500 draws", len(seen))
 	}
+}
+
+// buildInto inserts n ids with a seed-deterministic code sequence, so the
+// identical sequence can be replayed into another table for comparison.
+func buildInto(tbl *Table, n int, seed uint64) {
+	r := rng.New(seed)
+	for id := 0; id < n; id++ {
+		tbl.Insert(uint32(id), randCodes(r, tbl.Config().K, tbl.Config().L, tbl.Config().CodeBits))
+	}
+}
+
+// TestShadowGenerationDeterministic pins the shadow-build equivalence
+// contract: two shadows of the same generation fed the same insertion
+// sequence are bucket-for-bucket identical (including reservoir
+// replacement decisions), no matter where they were built — while a
+// different generation draws a different replacement stream.
+func TestShadowGenerationDeterministic(t *testing.T) {
+	// BucketSize 2 forces heavy reservoir churn so the replacement
+	// streams actually matter.
+	base := mkTable(t, Config{K: 2, L: 3, CodeBits: 2, BucketSize: 2, Seed: 9})
+	const n = 512
+
+	a := base.Shadow(7)
+	b := base.Shadow(7)
+	done := make(chan struct{})
+	go func() { // a detached build on another goroutine changes nothing
+		buildInto(b, n, 4)
+		close(done)
+	}()
+	buildInto(a, n, 4)
+	<-done
+	if !a.Equal(b) {
+		t.Fatal("same-generation shadows diverged on an identical insertion sequence")
+	}
+
+	c := base.Shadow(8)
+	buildInto(c, n, 4)
+	if a.Equal(c) {
+		t.Fatal("generations 7 and 8 produced identical reservoir decisions — gen is not reaching the streams")
+	}
+
+	// Generation 0 reproduces the historical New seeding.
+	fresh := mkTable(t, Config{K: 2, L: 3, CodeBits: 2, BucketSize: 2, Seed: 9})
+	g0 := base.Shadow(0)
+	buildInto(fresh, n, 4)
+	buildInto(g0, n, 4)
+	if !fresh.Equal(g0) {
+		t.Fatal("generation-0 shadow does not match a freshly constructed table")
+	}
+}
+
+// TestEqualDetectsDifferences sanity-checks the comparison itself.
+func TestEqualDetectsDifferences(t *testing.T) {
+	cfg := Config{K: 2, L: 2, CodeBits: 2, Seed: 3}
+	a := mkTable(t, cfg)
+	b := mkTable(t, cfg)
+	buildInto(a, 32, 1)
+	buildInto(b, 32, 1)
+	if !a.Equal(b) {
+		t.Fatal("identically built tables compare unequal")
+	}
+	r := rng.New(99)
+	b.Insert(1000, randCodes(r, 2, 2, 2))
+	if a.Equal(b) {
+		t.Fatal("tables with different contents compare equal")
+	}
+	if a.Equal(mkTable(t, Config{K: 2, L: 2, CodeBits: 2, Seed: 4})) {
+		t.Fatal("tables with different configs compare equal")
+	}
+}
+
+// TestHandleSwapUnderConcurrentReaders is the handle's concurrency
+// contract, run under -race in CI: readers Load and query freely while a
+// writer keeps publishing fresh shadow generations; every loaded set
+// stays internally consistent (ids in range, lengths within capacity).
+func TestHandleSwapUnderConcurrentReaders(t *testing.T) {
+	cfg := Config{K: 2, L: 4, CodeBits: 3, BucketSize: 8, Seed: 17}
+	first := mkTable(t, cfg)
+	const n = 256
+	buildInto(first, n, 1)
+	h := NewHandle(first)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g) + 100)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tbl := h.Load()
+				codes := randCodes(r, 2, 4, 3)
+				for ti := 0; ti < tbl.L(); ti++ {
+					for _, id := range tbl.Bucket(ti, codes) {
+						if id >= n {
+							t.Errorf("reader %d saw out-of-range id %d", g, id)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	for gen := uint64(1); gen <= 50; gen++ {
+		shadow := h.Load().Shadow(gen)
+		buildInto(shadow, n, gen)
+		old := h.Swap(shadow)
+		if old == nil {
+			t.Fatal("Swap returned nil previous table")
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -64,25 +64,28 @@ func CalibratePeak(threads int, dur time.Duration) float64 {
 		dur = 50 * time.Millisecond
 	}
 	flops := make([]float64, threads)
+	sums := make([]float32, threads)
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			flops[w] = fmaLoop(dur)
+			flops[w], sums[w] = fmaLoop(dur)
 		}(w)
 	}
 	wg.Wait()
 	var total float64
-	for _, f := range flops {
+	for w, f := range flops {
 		total += f
+		sink += sums[w] // single writer after the join; keeps the loops live
 	}
 	return total
 }
 
 // fmaLoop runs multiply-adds over an L1-resident buffer and returns the
-// achieved FLOP/s for this goroutine.
-func fmaLoop(dur time.Duration) float64 {
+// achieved FLOP/s for this goroutine plus the accumulator checksum (the
+// caller folds it into sink so the loop cannot be dead-code eliminated).
+func fmaLoop(dur time.Duration) (float64, float32) {
 	const n = 1024 // 4KB of float32: L1-resident
 	buf := make([]float32, n)
 	for i := range buf {
@@ -105,12 +108,12 @@ func fmaLoop(dur time.Duration) float64 {
 		}
 		ops += 2 * n // one mul + one add per element
 	}
-	sink = s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7
+	sum := s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7
 	elapsed := time.Since(start).Seconds()
 	if elapsed <= 0 {
-		return 0
+		return 0, sum
 	}
-	return ops / elapsed
+	return ops / elapsed, sum
 }
 
 // sink defeats dead-code elimination of the calibration loop.

@@ -46,13 +46,21 @@ import (
 	"repro/internal/sparse"
 )
 
-// Network is a SLIDE network. See core.Network for method documentation.
+// Network is a SLIDE network. Scheduled hash-table rebuilds run off the
+// training hot path by default: a shadow table set is built on a
+// background goroutine from a batch-boundary weight snapshot and
+// published with an atomic swap, so training batches block only for the
+// snapshot copy (TrainResult.RebuildStallNS accounts it;
+// TrainConfig.SyncRebuild restores the stop-the-world path). See
+// core.Network for method documentation.
 type Network = core.Network
 
 // Predictor is a reusable, concurrency-safe inference session over a
 // Network: it pools per-worker element states so steady-state prediction
 // allocates no per-call inference state, and fans batches out across
-// workers. Construct one with Network.NewPredictor and share it between
+// workers. Hash tables are read through atomically swapped handles, so
+// prediction stays valid in the middle of a background table rebuild.
+// Construct one with Network.NewPredictor and share it between
 // goroutines; see core.Predictor for method documentation (Predict,
 // PredictSampled, PredictBatch, PredictBatchSampled, TopKWithScores).
 type Predictor = core.Predictor
