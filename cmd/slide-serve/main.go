@@ -27,7 +27,8 @@
 //	                     skipping the micro-batch gathering window
 //	POST /reload         {"model":"other.slide"} (empty body reloads -model)
 //	                     atomically swaps in a freshly loaded Network+Predictor
-//	                     pair; in-flight requests finish on the old pair
+//	                     pair; in-flight requests finish on the old pair.
+//	                     SIGHUP triggers the same swap from -model.
 //	GET  /healthz        model shape, source path, reload count, status
 //	GET  /stats          request counts, micro-batch sizes, latency percentiles
 package main
@@ -50,8 +51,9 @@ func main() {
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		defaultK    = flag.Int("k", 5, "default top-k when a request omits k")
 		maxK        = flag.Int("max-k", 100, "largest top-k a request may ask for")
-		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch gathering window (0 disables batching)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "maximum micro-batch gathering window (0 disables batching)")
 		batchMax    = flag.Int("batch-max", 64, "maximum requests per micro-batch")
+		adaptive    = flag.Bool("adaptive-window", true, "derive each gather window from the observed arrival rate (EWMA), clamped to [0, -batch-window]")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -71,18 +73,26 @@ func main() {
 		*modelPath, net.Config().InputDim, net.NumLayers(), net.OutputDim(), net.NumParams())
 
 	srv, err := newServer(net, serverOptions{
-		DefaultK:    *defaultK,
-		MaxK:        *maxK,
-		BatchWindow: *batchWindow,
-		BatchMax:    *batchMax,
-		ModelPath:   *modelPath,
+		DefaultK:       *defaultK,
+		MaxK:           *maxK,
+		BatchWindow:    *batchWindow,
+		AdaptiveWindow: *adaptive,
+		BatchMax:       *batchMax,
+		ModelPath:      *modelPath,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	stopHUP := srv.watchSIGHUP(log.Printf)
+	defer stopHUP()
 
-	log.Printf("serving on %s (micro-batch window %v, max %d)", *addr, *batchWindow, *batchMax)
+	window := "adaptive ≤ " + batchWindow.String()
+	if !*adaptive {
+		window = batchWindow.String()
+	}
+	log.Printf("serving on %s (micro-batch window %s, max %d; SIGHUP reloads %s)",
+		*addr, window, *batchMax, *modelPath)
 	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
 		log.Fatal(err)
 	}

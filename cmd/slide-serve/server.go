@@ -8,10 +8,12 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -25,7 +27,15 @@ type serverOptions struct {
 	// BatchWindow is how long the micro-batcher waits to gather
 	// concurrent requests into one PredictBatch call; 0 disables
 	// batching and every request runs its own single-example pass.
+	// With AdaptiveWindow it is the upper clamp instead of the fixed
+	// wait.
 	BatchWindow time.Duration
+	// AdaptiveWindow derives each micro-batch's gather window from an
+	// EWMA of the observed request inter-arrival time instead of waiting
+	// the full BatchWindow: long enough to fill BatchMax at the current
+	// rate, zero when no second request is expected in time, clamped to
+	// [0, BatchWindow].
+	AdaptiveWindow bool
 	// BatchMax bounds the number of requests per micro-batch.
 	BatchMax int
 	// BatchBodyMax bounds the number of vectors a single /predict/batch
@@ -87,7 +97,8 @@ type server struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
-	stats statsRecorder
+	stats    statsRecorder
+	arrivals arrivalEstimator
 }
 
 // pendingReq is one /predict request waiting for a micro-batch slot. It
@@ -123,6 +134,7 @@ func newServer(net *slide.Network, opts serverOptions) (*server, error) {
 		reqCh: make(chan *pendingReq, 4*opts.BatchMax),
 		done:  make(chan struct{}),
 	}
+	s.arrivals.gapCapNS = gapCapWindows * float64(opts.BatchWindow)
 	s.eng.Store(eng)
 	s.wg.Add(1)
 	go s.batchLoop()
@@ -213,6 +225,13 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// head-of-line-blocks the batcher for unrelated traffic.
 		rep = s.runOne(r.Context(), p)
 	} else if s.opts.BatchWindow > 0 {
+		// Only queue-bound requests feed the arrival-rate estimate (they
+		// are the population the gather window is sized for), and only
+		// when the adaptive window consumes it — the estimator's mutex
+		// has no business on the hot path of a fixed-window deployment.
+		if s.opts.AdaptiveWindow {
+			s.arrivals.observe(t0)
+		}
 		select {
 		case s.reqCh <- p:
 		case <-s.done:
@@ -399,45 +418,103 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	f, err := os.Open(path)
+	eng, reloads, err := s.reloadFrom(path)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "opening model: %v", err)
+		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	net, err := slide.LoadModel(f)
-	f.Close()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "loading model: %v", err)
-		return
-	}
-	eng, err := newEngine(net, path)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "building predictor: %v", err)
-		return
-	}
-	s.eng.Store(eng)
-	reloads := s.reloads.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"model":     path,
 		"reloads":   reloads,
-		"input_dim": net.Config().InputDim,
-		"classes":   net.OutputDim(),
-		"params":    net.NumParams(),
+		"input_dim": eng.net.Config().InputDim,
+		"classes":   eng.net.OutputDim(),
+		"params":    eng.net.NumParams(),
 		"ms":        float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
 
+// reloadFrom loads the model at path, builds a fresh engine and
+// publishes it with one atomic swap, returning the new engine and this
+// reload's counter value (captured while the swap is still the latest,
+// so concurrent reloads report distinct counts). It is the shared
+// implementation behind POST /reload and SIGHUP.
+func (s *server) reloadFrom(path string) (*engine, int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("opening model: %w", err)
+	}
+	net, err := slide.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, fmt.Errorf("loading model: %w", err)
+	}
+	eng, err := newEngine(net, path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("building predictor: %w", err)
+	}
+	s.eng.Store(eng)
+	return eng, s.reloads.Add(1), nil
+}
+
+// watchSIGHUP wires the Unix convention to the same atomic engine swap
+// as POST /reload: on SIGHUP the server re-reads the -model file it was
+// started from. The returned stop function unregisters the handler.
+func (s *server) watchSIGHUP(logf func(format string, args ...any)) (stop func()) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-sig:
+				if s.opts.ModelPath == "" {
+					logf("SIGHUP ignored: server was started without -model")
+					continue
+				}
+				t0 := time.Now()
+				eng, _, err := s.reloadFrom(s.opts.ModelPath)
+				if err != nil {
+					logf("SIGHUP reload failed: %v", err)
+					continue
+				}
+				logf("SIGHUP reloaded %s (%d params) in %.1fms",
+					s.opts.ModelPath, eng.net.NumParams(),
+					float64(time.Since(t0).Microseconds())/1000)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(sig)
+		close(done)
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot())
+	snap := s.stats.snapshot()
+	if s.opts.AdaptiveWindow {
+		if ewma, primed := s.arrivals.interarrival(); primed {
+			snap.EWMAInterarrivalMillis = float64(ewma.Microseconds()) / 1000
+			win := s.arrivals.window(s.opts.BatchWindow, s.opts.BatchMax)
+			winMS := float64(win.Microseconds()) / 1000
+			snap.AdaptiveWindowMillis = &winMS
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // batchLoop gathers concurrent requests into micro-batches: the first
-// request opens a window, further requests join until the window closes
-// or the batch fills, then the whole batch runs through one
-// PredictBatch fan-out per mode.
+// request opens a window — fixed at BatchWindow, or derived per batch
+// from the observed arrival rate with AdaptiveWindow — further requests
+// join until the window closes or the batch fills, then the whole batch
+// runs through one PredictBatch fan-out per mode.
 func (s *server) batchLoop() {
 	defer s.wg.Done()
 	for {
@@ -449,7 +526,26 @@ func (s *server) batchLoop() {
 			return
 		}
 		batch := []*pendingReq{first}
-		timer := time.NewTimer(s.opts.BatchWindow)
+		window := s.opts.BatchWindow
+		if s.opts.AdaptiveWindow {
+			window = s.arrivals.window(s.opts.BatchWindow, s.opts.BatchMax)
+		}
+		if window <= 0 {
+			// No second arrival expected in time: take whatever is
+			// already queued, but do not wait.
+		gatherNow:
+			for len(batch) < s.opts.BatchMax {
+				select {
+				case r := <-s.reqCh:
+					batch = append(batch, r)
+				default:
+					break gatherNow
+				}
+			}
+			s.runBatch(batch)
+			continue
+		}
+		timer := time.NewTimer(window)
 	gather:
 		for len(batch) < s.opts.BatchMax {
 			select {
@@ -464,6 +560,87 @@ func (s *server) batchLoop() {
 		timer.Stop()
 		s.runBatch(batch)
 	}
+}
+
+// arrivalEstimator tracks an exponentially weighted moving average of
+// the micro-batchable request inter-arrival time. The batcher sizes each
+// gather window from it: at high arrival rates the window only needs to
+// span one batch's worth of arrivals, and at low rates waiting is pure
+// added latency because no peer request will show up anyway.
+type arrivalEstimator struct {
+	mu      sync.Mutex
+	last    time.Time
+	ewmaNS  float64
+	samples int64
+	// gapCapNS clamps any single observed gap before it feeds the EWMA:
+	// an overnight idle period is one sample, not evidence that the next
+	// burst arrives hours apart — unclamped, a single huge gap would
+	// hold the window at zero for a hundred requests into the burst.
+	// The cap stays well above the batch window so genuinely sparse
+	// traffic still reads as sparse (window 0).
+	gapCapNS float64
+}
+
+// arrivalAlpha is the EWMA smoothing factor: ~20 arrivals of memory,
+// quick enough to track bursts, slow enough not to chase single gaps.
+// gapCapWindows sizes the per-sample gap clamp in units of the maximum
+// batch window.
+const (
+	arrivalAlpha  = 0.1
+	gapCapWindows = 8
+)
+
+// observe feeds one arrival timestamp. Concurrent handlers can deliver
+// timestamps out of order; an older-than-last arrival carries no gap
+// information and must not rewind e.last (that would overstate the next
+// gap by the burst's span — during exactly the bursts the window is
+// sized for).
+func (e *arrivalEstimator) observe(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		e.last = now
+		return
+	}
+	if !now.After(e.last) {
+		return
+	}
+	d := float64(now.Sub(e.last))
+	if e.gapCapNS > 0 && d > e.gapCapNS {
+		d = e.gapCapNS
+	}
+	if e.samples == 0 {
+		e.ewmaNS = d
+	} else {
+		e.ewmaNS += arrivalAlpha * (d - e.ewmaNS)
+	}
+	e.samples++
+	e.last = now
+}
+
+// interarrival returns the current EWMA estimate and whether enough
+// samples have accumulated to trust it.
+func (e *arrivalEstimator) interarrival() (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.ewmaNS), e.samples >= 3
+}
+
+// window derives one gather window, clamped to [0, max]: unprimed
+// estimators keep the configured fixed window; an expected inter-arrival
+// beyond max means no peer will join in time, so the window collapses to
+// zero; otherwise the window is just long enough to gather batchMax-1
+// more requests at the observed rate.
+func (e *arrivalEstimator) window(max time.Duration, batchMax int) time.Duration {
+	ewma, primed := e.interarrival()
+	if !primed {
+		return max
+	}
+	if ewma > max {
+		return 0
+	}
+	w := ewma * time.Duration(batchMax-1)
+	return min(w, max)
 }
 
 // drain serves whatever is still queued at shutdown so no handler is
@@ -598,6 +775,14 @@ type statsSnapshot struct {
 	P50Millis     float64 `json:"p50_ms"`
 	P90Millis     float64 `json:"p90_ms"`
 	P99Millis     float64 `json:"p99_ms"`
+	// EWMAInterarrivalMillis and AdaptiveWindowMillis report the arrival
+	// estimator when -adaptive-window is on and primed: the observed
+	// mean gap between batchable requests, and the gather window the
+	// next micro-batch would use. The window is a pointer so the
+	// designed zero-window state (sparse traffic) stays distinguishable
+	// from "estimator unprimed or feature disabled" (field absent).
+	EWMAInterarrivalMillis float64  `json:"ewma_interarrival_ms,omitempty"`
+	AdaptiveWindowMillis   *float64 `json:"adaptive_window_ms,omitempty"`
 }
 
 func (sr *statsRecorder) snapshot() statsSnapshot {

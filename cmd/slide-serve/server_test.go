@@ -11,6 +11,7 @@ import (
 	"reflect"
 	"slices"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -594,5 +595,227 @@ func TestPredictBatchEndpoint(t *testing.T) {
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, code)
 		}
+	}
+}
+
+// TestArrivalEstimatorWindow drives the estimator with synthetic
+// timestamps and checks the window policy: unprimed keeps the fixed
+// window, dense traffic sizes the window to fill a batch, sparse traffic
+// collapses it to zero, and the result is always clamped to [0, max].
+func TestArrivalEstimatorWindow(t *testing.T) {
+	const max = 2 * time.Millisecond
+	const batchMax = 8
+
+	var e arrivalEstimator
+	if got := e.window(max, batchMax); got != max {
+		t.Fatalf("unprimed window = %v, want the fixed %v", got, max)
+	}
+
+	// Dense traffic: 50µs apart -> window ≈ 7 gaps ≈ 350µs, below max.
+	base := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		e.observe(base.Add(time.Duration(i) * 50 * time.Microsecond))
+	}
+	w := e.window(max, batchMax)
+	if w <= 0 || w >= max {
+		t.Fatalf("dense-traffic window = %v, want in (0, %v)", w, max)
+	}
+	if w < 200*time.Microsecond || w > 600*time.Microsecond {
+		t.Fatalf("dense-traffic window = %v, want ≈ 350µs", w)
+	}
+
+	// Moderate traffic whose fill time exceeds max: clamped to max.
+	e = arrivalEstimator{}
+	for i := 0; i < 50; i++ {
+		e.observe(base.Add(time.Duration(i) * time.Millisecond))
+	}
+	if w := e.window(max, batchMax); w != max {
+		t.Fatalf("moderate-traffic window = %v, want clamped to %v", w, max)
+	}
+
+	// Sparse traffic: gaps beyond max mean nobody joins in time.
+	e = arrivalEstimator{}
+	for i := 0; i < 10; i++ {
+		e.observe(base.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+	if w := e.window(max, batchMax); w != 0 {
+		t.Fatalf("sparse-traffic window = %v, want 0", w)
+	}
+
+	// The EWMA tracks a regime change from sparse to dense.
+	for i := 0; i < 100; i++ {
+		e.observe(base.Add(time.Second + time.Duration(i)*30*time.Microsecond))
+	}
+	if w := e.window(max, batchMax); w <= 0 || w > time.Millisecond {
+		t.Fatalf("post-burst window = %v, want small and positive", w)
+	}
+
+	// With the gap cap (as newServer configures it), one overnight idle
+	// gap must not poison the estimate: a burst resuming right after it
+	// recovers a positive window within a few samples instead of ~100.
+	e = arrivalEstimator{gapCapNS: gapCapWindows * float64(max)}
+	at := base
+	for i := 0; i < 20; i++ {
+		at = at.Add(50 * time.Microsecond)
+		e.observe(at)
+	}
+	at = at.Add(8 * time.Hour) // idle overnight
+	e.observe(at)
+	for i := 0; i < 5; i++ {
+		at = at.Add(50 * time.Microsecond)
+		e.observe(at)
+	}
+	if w := e.window(max, batchMax); w <= 0 {
+		t.Fatalf("window stuck at %v after an idle gap; the gap cap failed", w)
+	}
+
+	// Out-of-order timestamps (concurrent handlers racing to observe)
+	// must not rewind the clock and inflate the next gap.
+	e = arrivalEstimator{}
+	for i := 0; i < 20; i++ {
+		e.observe(base.Add(time.Duration(i) * 50 * time.Microsecond))
+	}
+	e.observe(base) // stale timestamp from a racing handler
+	e.observe(base.Add(19*50*time.Microsecond + 60*time.Microsecond))
+	if got, _ := e.interarrival(); got > 100*time.Microsecond {
+		t.Fatalf("stale timestamp inflated the estimate to %v", got)
+	}
+}
+
+// TestAdaptiveWindowServing: an adaptive server keeps answering
+// correctly under both idle and bursty traffic, and /stats exposes the
+// estimator once primed.
+func TestAdaptiveWindowServing(t *testing.T) {
+	ts := startServer(t, serverOptions{
+		BatchWindow:    2 * time.Millisecond,
+		AdaptiveWindow: true,
+		BatchMax:       8,
+	})
+
+	// Sequential requests: each must come back alone and promptly even
+	// though the estimator starts unprimed (fixed window) and then sees
+	// sparse traffic (zero window).
+	for i := 0; i < 8; i++ {
+		code, pr := postPredict(t, ts.URL, `{"indices":[1,5],"values":[1,0.5],"k":3}`)
+		if code != http.StatusOK || len(pr.IDs) != 3 {
+			t.Fatalf("request %d: code %d ids %v", i, code, pr.IDs)
+		}
+		time.Sleep(3 * time.Millisecond) // beyond BatchWindow: sparse regime
+	}
+
+	// A concurrent burst: all answered, batch sizes stay within limits.
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"indices":[%d],"values":[1.0],"k":2}`, c%64)
+			code, pr, err := tryPostPredict(ts.URL, body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if code != http.StatusOK || len(pr.IDs) != 2 || pr.BatchSize < 1 || pr.BatchSize > 8 {
+				errs <- fmt.Errorf("client %d: code %d, %d ids, batch %d", c, code, len(pr.IDs), pr.BatchSize)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap statsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests < 40 {
+		t.Fatalf("stats saw %d requests", snap.Requests)
+	}
+	if snap.EWMAInterarrivalMillis <= 0 {
+		t.Fatalf("primed estimator missing from stats: %+v", snap)
+	}
+}
+
+// TestSIGHUPReloadsModel: SIGHUP swaps the engine exactly like POST
+// /reload — the model file is rewritten between signals, and the served
+// engine follows it.
+func TestSIGHUPReloadsModel(t *testing.T) {
+	dir := t.TempDir()
+	path := modelFile(t, dir, 31)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := slide.LoadModel(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(net, serverOptions{ModelPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	stop := s.watchSIGHUP(t.Logf)
+	t.Cleanup(stop)
+
+	before := s.eng.Load()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.reloads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGHUP did not trigger a reload")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	after := s.eng.Load()
+	if after == before {
+		t.Fatal("SIGHUP did not swap the engine")
+	}
+	if after.model != path {
+		t.Fatalf("reloaded engine model = %q, want %q", after.model, path)
+	}
+
+	// A second signal keeps working (the watcher loops).
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	for s.reloads.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second SIGHUP did not trigger a reload")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSIGHUPWithoutModelPath: a server started without -model logs and
+// survives the signal instead of crashing or swapping in garbage.
+func TestSIGHUPWithoutModelPath(t *testing.T) {
+	s, err := newServer(testModel(t), serverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	stop := s.watchSIGHUP(t.Logf)
+	t.Cleanup(stop)
+
+	before := s.eng.Load()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if s.reloads.Load() != 0 || s.eng.Load() != before {
+		t.Fatal("pathless SIGHUP must be a no-op")
 	}
 }

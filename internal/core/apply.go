@@ -26,22 +26,38 @@ func (n *Network) beginBatch() {
 // applyAdamBatch performs the per-batch Adam step over exactly the
 // weights that accumulated gradient: touched neurons' rows restricted to
 // touched input columns (§3.1: "the fraction of weights that needs to be
-// updated is s² only"). Gradients are averaged over the batch (invB) and
-// the buffers are zeroed as they are consumed. Work is parallelized over
-// neurons; each row has a single writer.
+// updated is s² only"). Since the sparse-gradient pipeline refactor it is
+// extract-then-apply: the batch gradient is first drained into an
+// explicit SparseDelta (the §6 distributed-exchange payload, reused
+// scratch) and the Adam step then runs over exactly the delta's cells.
+// The two halves are bit-for-bit the old fused path split in two —
+// applyAdamFused below is kept as the equivalence-test reference — and
+// the split is what lets data-parallel replicas exchange the delta
+// between extract and apply (TrainConfig.Exchanger).
 //
-// The number of non-zero gradient cells applied is accumulated into
-// n.touchedWeights: this is exactly the sparse-gradient payload a
-// distributed SLIDE replica would ship per batch (§6 future work —
-// "communication costs are minimal due to sparse gradients"), surfaced
-// as TrainResult.TouchedPerIter and by the dist-comm experiment.
+// The delta's cell count accumulates into n.touchedWeights, surfaced as
+// TrainResult.TouchedPerIter and measured by the dist-comm experiment.
 func (n *Network) applyAdamBatch(alpha, invB float32, workers int) {
-	for _, l := range n.layers {
-		n.touchedWeights += l.applyAdam(n, alpha, invB, workers)
+	d := n.ExtractDelta(n.deltaScratch, workers)
+	n.deltaScratch = d
+	n.touchedWeights += d.Cells()
+	for li, l := range n.layers {
+		l.ApplyDelta(n.adam, &d.Layers[li], alpha, invB, workers)
 	}
 }
 
-func (l *Layer) applyAdam(n *Network, alpha, invB float32, workers int) int64 {
+// applyAdamFused is the pre-SparseDelta fused accumulate-and-step path.
+// It is no longer used by training — applyAdamBatch goes through
+// ExtractDelta/ApplyDelta — but is kept as the bit-for-bit reference the
+// extract/apply equivalence test (TestExtractApplyMatchesFusedAdam)
+// compares against.
+func (n *Network) applyAdamFused(alpha, invB float32, workers int) {
+	for _, l := range n.layers {
+		n.touchedWeights += l.applyAdamFused(n, alpha, invB, workers)
+	}
+}
+
+func (l *Layer) applyAdamFused(n *Network, alpha, invB float32, workers int) int64 {
 	epoch := l.batchEpoch
 	cols := l.touchedColumns(workers)
 	adam := n.adam
@@ -91,23 +107,6 @@ func (l *Layer) touchedColumns(workers int) []int32 {
 	if l.colStamp == nil {
 		return nil
 	}
-	epoch := l.batchEpoch
-	if workers < 1 {
-		workers = 1
-	}
-	parts := make([][]int32, workers)
-	parallelIndexed(workers, len(l.colStamp), func(w, lo, hi int) {
-		var local []int32
-		for i := lo; i < hi; i++ {
-			if l.colStamp[i] == epoch {
-				local = append(local, int32(i))
-			}
-		}
-		parts[w] = local
-	})
-	l.colList = l.colList[:0]
-	for _, p := range parts {
-		l.colList = append(l.colList, p...)
-	}
+	l.colList = scanStamps(l.colStamp, l.batchEpoch, workers, l.colList)
 	return l.colList
 }

@@ -205,6 +205,28 @@ type TrainConfig struct {
 	// recorded.
 	OnEval func(Point)
 
+	// Shards is the total number of data-parallel replicas participating
+	// in this training run, including this one (§6 distributed SLIDE).
+	// With an Exchanger set, each batch's Adam step averages the merged
+	// gradient over BatchSize*Shards examples; without one, Shards is
+	// ignored. Zero selects 1.
+	Shards int
+	// Exchanger, when set, turns the run into one shard of a
+	// data-parallel group: after every batch the locally extracted
+	// SparseDelta is exchanged and the merged delta — the cell-wise sum
+	// over all shards, identical on every replica — is applied instead.
+	// All shards must run the same BatchSize and Iterations; early stops
+	// (TargetAcc, MaxSeconds, context cancellation) are coordinated
+	// through the exchange so every replica halts at the same step. See
+	// internal/dist for the in-process and TCP implementations.
+	Exchanger DeltaExchanger
+
+	// SkipFinalEval suppresses the evaluation Train normally runs at
+	// loop exit. Data-parallel replicas other than rank 0 set it: their
+	// weights are bit-identical to rank 0's, so N final evaluations of
+	// the same model would be pure redundant work.
+	SkipFinalEval bool
+
 	// SyncRebuild forces scheduled hash-table rebuilds to run inline,
 	// stopping the training loop for the whole reconstruction (the
 	// pre-async behavior, kept for comparison runs — see
@@ -229,6 +251,9 @@ func (tc TrainConfig) withDefaults(trainSize int) TrainConfig {
 		}
 		perEpoch := (trainSize + tc.BatchSize - 1) / tc.BatchSize
 		tc.Iterations = int64(epochs) * int64(perEpoch)
+	}
+	if tc.Shards < 1 {
+		tc.Shards = 1
 	}
 	return tc
 }

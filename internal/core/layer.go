@@ -42,6 +42,7 @@ type Layer struct {
 	touched    []uint32
 	colStamp   []uint32
 	colList    []int32 // scratch for the per-batch touched-column list
+	rowList    []int32 // scratch for the per-batch touched-row list
 	batchEpoch uint32
 
 	// fam and tables implement the adaptive sampling; nil for dense

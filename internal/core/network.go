@@ -52,10 +52,14 @@ type Network struct {
 	rebuildStallNS int64
 	rebuildBuildNS int64
 
-	// touchedWeights counts gradient cells applied across all batches —
+	// touchedWeights counts gradient cells extracted across all batches —
 	// the sparse-gradient communication payload of a distributed
 	// replica (§6 future work).
 	touchedWeights int64
+	// deltaScratch is the reusable SparseDelta the training loop drains
+	// each batch's gradient into (extract-then-apply, and the exchange
+	// payload for sharded runs).
+	deltaScratch *SparseDelta
 
 	// pred backs the convenience Predict/PredictSampled/Evaluate
 	// methods: one lazily built shared inference session whose pooled

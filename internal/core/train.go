@@ -50,6 +50,10 @@ type TrainResult struct {
 	// gradient per iteration — the sparse payload a distributed replica
 	// would communicate, vs NumParams for a dense synchronization (§6).
 	TouchedPerIter float64
+	// ExchangeNS is the nanoseconds the training loop spent blocked in
+	// DeltaExchanger.Exchange — serialization, transport and the peer
+	// barrier — included in Seconds. Zero for single-process runs.
+	ExchangeNS int64
 }
 
 // Train runs minibatch training (Algorithm 1). Batch elements are
@@ -74,6 +78,9 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	tc = tc.withDefaults(len(train))
 	if tc.BatchSize > len(train) {
 		tc.BatchSize = len(train)
+	}
+	if sc, ok := tc.Exchanger.(ShardCounter); ok && sc.Shards() != tc.Shards {
+		return nil, fmt.Errorf("core: TrainConfig.Shards = %d but the exchanger's group has %d: the merged Adam step would be mis-averaged", tc.Shards, sc.Shards())
 	}
 	workers := tc.Threads
 
@@ -164,11 +171,20 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	}
 
 	var ctxErr error
+	// wantStop marks a local stop condition (cancellation, target
+	// accuracy, deadline) in a sharded run; it is carried to the peers by
+	// the next exchange, and stopAll — any shard wanting to stop — breaks
+	// every replica after the same applied batch.
+	var wantStop, stopAll bool
+	ex := tc.Exchanger
 	start := n.step
 	for n.step-start < tc.Iterations {
 		if err := ctx.Err(); err != nil {
 			ctxErr = err
-			break
+			if ex == nil {
+				break
+			}
+			wantStop = true
 		}
 		if pos+tc.BatchSize > len(order) {
 			reshuffle(order, tc.Seed+uint64(n.step))
@@ -189,7 +205,16 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		if records != nil {
 			n.accumulateBatchSync(records, workers)
 		}
-		n.applyAdamBatch(alpha, 1/float32(len(batch)), workers)
+		if ex == nil {
+			n.applyAdamBatch(alpha, 1/float32(len(batch)), workers)
+		} else {
+			var exErr error
+			stopAll, exErr = n.exchangeAndApply(ex, wantStop, alpha, len(batch), tc.Shards, workers, res)
+			if exErr != nil {
+				ctxErr = exErr
+				break
+			}
+		}
 		n.step++
 		if tc.SyncRebuild {
 			r0 := nowNano()
@@ -200,15 +225,24 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 			n.rebuildTick(workers)
 		}
 		trainNS += nowNano() - t0
+		if stopAll {
+			break
+		}
 
 		if tc.EvalEvery > 0 && (n.step-start)%tc.EvalEvery == 0 {
 			p1 := evalNow()
 			if tc.TargetAcc > 0 && p1 >= tc.TargetAcc {
-				break
+				if ex == nil {
+					break
+				}
+				wantStop = true
 			}
 		}
 		if tc.MaxSeconds > 0 && float64(trainNS)/1e9 >= tc.MaxSeconds {
-			break
+			if ex == nil {
+				break
+			}
+			wantStop = true
 		}
 	}
 
@@ -221,9 +255,10 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	n.finishPendingRebuild()
 
 	// Final evaluation unless the loop ended exactly on an eval. A
-	// cancelled run skips it: the caller asked to stop, and evaluation
-	// can be expensive.
-	if last := res.Curve.Last(); ctxErr == nil && (last.Iter != n.step || len(res.Curve.Points) == 0) {
+	// cancelled run skips it (the caller asked to stop, and evaluation
+	// can be expensive), as does a config that opted out.
+	if last := res.Curve.Last(); ctxErr == nil && !tc.SkipFinalEval &&
+		(last.Iter != n.step || len(res.Curve.Points) == 0) {
 		evalNow()
 	}
 
@@ -239,6 +274,27 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	res.MeanActive = meanActive(states, len(n.layers))
 	res.Utilization = utilization(states, trainNS, workers)
 	return res, ctxErr
+}
+
+// exchangeAndApply is one sharded batch's update phase: extract the local
+// SparseDelta, exchange it for the group's merged delta, and apply the
+// merged step averaged over the global batch (BatchSize*Shards). The
+// returned stopAll reports whether any shard requested a coordinated stop
+// this round.
+func (n *Network) exchangeAndApply(ex DeltaExchanger, wantStop bool, alpha float32, batch, shards, workers int, res *TrainResult) (bool, error) {
+	d := n.ExtractDelta(n.deltaScratch, workers)
+	n.deltaScratch = d
+	n.touchedWeights += d.Cells()
+	x0 := nowNano()
+	merged, stopAll, err := ex.Exchange(n.step, d, wantStop)
+	res.ExchangeNS += nowNano() - x0
+	if err != nil {
+		return false, fmt.Errorf("core: delta exchange at step %d: %w", n.step, err)
+	}
+	if _, err := n.ApplyDelta(merged, alpha, 1/float32(batch*shards), workers); err != nil {
+		return false, err
+	}
+	return stopAll, nil
 }
 
 func reshuffle(order []int, seed uint64) {

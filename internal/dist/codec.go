@@ -1,0 +1,323 @@
+// Package dist implements data-parallel SLIDE training over sparse
+// gradient exchange — the paper's §6 closing argument ("a distributed
+// implementation of SLIDE would be very appealing because the
+// communication costs are minimal due to sparse gradients") turned into a
+// code path, following the low-bandwidth CPU-cluster design of
+// "Distributed SLIDE" (arXiv:2201.12667).
+//
+// The package provides three layers:
+//
+//   - Codec: a compact binary wire format for core.SparseDelta —
+//     varint-delta row/column ids, raw float32 gradients — with full
+//     validation against the network's layer shapes on decode.
+//   - Exchangers: core.DeltaExchanger implementations. Mesh is the
+//     in-process all-reduce for N replicas in one process (and, with one
+//     shard, a loopback measurement tap); TCPServer/TCPClient are the
+//     multi-process hub transport over length-prefixed frames.
+//   - TrainSharded: the sharded training driver — N identical replicas,
+//     round-robin data shards, per-batch delta exchange, replicas' weights
+//     in bitwise lockstep.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// codecVersion identifies the wire format; bump on incompatible change.
+const codecVersion = 1
+
+// codecMagic opens every encoded delta ("SDL" + version).
+var codecMagic = [4]byte{'S', 'D', 'L', '0' + codecVersion}
+
+// Codec encodes and decodes SparseDeltas for a fixed network shape. The
+// per-layer (neurons, fan-in) dimensions bound every id on decode, so a
+// malformed or hostile payload is rejected rather than applied.
+//
+// Wire format, all little-endian:
+//
+//	magic[4]
+//	uvarint layerCount
+//	per layer:
+//	  uvarint rowCount
+//	  rowCount uvarints: first row id raw, then (diff-1) to the previous
+//	  rowCount uvarints: per-row cell counts
+//	  rowCount float32:  bias gradients (0 = no bias step)
+//	  per row: cell-count uvarints: first column raw, then (diff-1)
+//	  totalCells float32: gradient values, row-major
+//
+// Row and column ids are strictly ascending (ExtractDelta and MergeDeltas
+// guarantee it), so the diff-1 encoding is total and most ids fit one or
+// two bytes at SLIDE's s² sparsity.
+type Codec struct {
+	dims [][2]int32 // per layer: {out (rows), in (cols)}
+}
+
+// NewCodec builds a codec for the network's layer shapes.
+func NewCodec(n *core.Network) *Codec {
+	dims := make([][2]int32, n.NumLayers())
+	for i := range dims {
+		l := n.Layer(i)
+		dims[i] = [2]int32{int32(l.Out()), int32(l.In())}
+	}
+	return &Codec{dims: dims}
+}
+
+// EncodedSize returns the exact number of bytes AppendDelta would emit
+// for d — the measured per-batch communication payload, without
+// allocating the buffer.
+func (c *Codec) EncodedSize(d *core.SparseDelta) int {
+	size := len(codecMagic) + uvarintLen(uint64(len(d.Layers)))
+	for li := range d.Layers {
+		ld := &d.Layers[li]
+		size += uvarintLen(uint64(len(ld.Rows)))
+		prev := int32(-1)
+		for r, row := range ld.Rows {
+			size += uvarintLen(uint64(row - prev - 1))
+			size += uvarintLen(uint64(ld.RowOff[r+1] - ld.RowOff[r]))
+			prev = row
+		}
+		size += 4 * len(ld.Bias)
+		for r := range ld.Rows {
+			prevCol := int32(-1)
+			for k := ld.RowOff[r]; k < ld.RowOff[r+1]; k++ {
+				size += uvarintLen(uint64(ld.Cols[k] - prevCol - 1))
+				prevCol = ld.Cols[k]
+			}
+		}
+		size += 4 * len(ld.Vals)
+	}
+	return size
+}
+
+// AppendDelta appends d's encoding to buf and returns the extended
+// buffer. The delta must satisfy the producer invariants (ascending
+// in-range ids, consistent spans); violations are reported rather than
+// silently emitting an undecodable payload.
+func (c *Codec) AppendDelta(buf []byte, d *core.SparseDelta) ([]byte, error) {
+	if len(d.Layers) != len(c.dims) {
+		return buf, fmt.Errorf("dist: encoding delta with %d layers, codec has %d", len(d.Layers), len(c.dims))
+	}
+	buf = append(buf, codecMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(d.Layers)))
+	for li := range d.Layers {
+		ld := &d.Layers[li]
+		out, in := c.dims[li][0], c.dims[li][1]
+		nr := len(ld.Rows)
+		if len(ld.RowOff) != nr+1 || len(ld.Bias) != nr {
+			return buf, fmt.Errorf("dist: layer %d: inconsistent delta (%d rows, %d offsets, %d biases)", li, nr, len(ld.RowOff), len(ld.Bias))
+		}
+		buf = binary.AppendUvarint(buf, uint64(nr))
+		prev := int32(-1)
+		for r, row := range ld.Rows {
+			if row <= prev || row >= out {
+				return buf, fmt.Errorf("dist: layer %d: row %d out of order or range [0,%d)", li, row, out)
+			}
+			buf = binary.AppendUvarint(buf, uint64(row-prev-1))
+			buf = binary.AppendUvarint(buf, uint64(ld.RowOff[r+1]-ld.RowOff[r]))
+			prev = row
+		}
+		for _, b := range ld.Bias {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(b))
+		}
+		for r := range ld.Rows {
+			prevCol := int32(-1)
+			for k := ld.RowOff[r]; k < ld.RowOff[r+1]; k++ {
+				col := ld.Cols[k]
+				if col <= prevCol || col >= in {
+					return buf, fmt.Errorf("dist: layer %d row %d: column %d out of order or range [0,%d)", li, ld.Rows[r], col, in)
+				}
+				buf = binary.AppendUvarint(buf, uint64(col-prevCol-1))
+				prevCol = col
+			}
+		}
+		for _, v := range ld.Vals {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeDelta decodes buf into dst (reused when non-nil) with full
+// validation: magic, layer count, ascending in-range ids, span and
+// length consistency. The returned delta satisfies every ApplyDelta and
+// MergeDeltas precondition.
+func (c *Codec) DecodeDelta(dst *core.SparseDelta, buf []byte) (*core.SparseDelta, error) {
+	if dst == nil {
+		dst = &core.SparseDelta{}
+	}
+	r := reader{buf: buf}
+	var magic [4]byte
+	if err := r.bytes(magic[:]); err != nil {
+		return dst, err
+	}
+	if magic != codecMagic {
+		return dst, fmt.Errorf("dist: bad delta magic %q", magic[:])
+	}
+	layers, err := r.uvarint()
+	if err != nil {
+		return dst, err
+	}
+	if layers != uint64(len(c.dims)) {
+		return dst, fmt.Errorf("dist: delta has %d layers, codec has %d", layers, len(c.dims))
+	}
+	resizeLayers(dst, int(layers))
+	for li := range dst.Layers {
+		if err := c.decodeLayer(&r, li, &dst.Layers[li]); err != nil {
+			return dst, fmt.Errorf("dist: layer %d: %w", li, err)
+		}
+	}
+	if len(r.buf) != 0 {
+		return dst, fmt.Errorf("dist: %d trailing bytes after delta", len(r.buf))
+	}
+	return dst, nil
+}
+
+func (c *Codec) decodeLayer(r *reader, li int, ld *core.LayerDelta) error {
+	out, in := c.dims[li][0], c.dims[li][1]
+	nrU, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nrU > uint64(out) {
+		return fmt.Errorf("%d rows exceeds layer size %d", nrU, out)
+	}
+	nr := int(nrU)
+	ld.Rows = grow(ld.Rows, nr)
+	ld.RowOff = grow(ld.RowOff, nr+1)
+	ld.Bias = grow(ld.Bias, nr)
+	ld.RowOff[0] = 0
+	prev := int32(-1)
+	var total int64
+	for i := 0; i < nr; i++ {
+		diff, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		// Reject the diff before the addition: a diff >= out cannot
+		// yield an in-range id, and an unchecked 64-bit diff would
+		// overflow the sum negative and slip past the range check.
+		if diff >= uint64(out) {
+			return fmt.Errorf("row diff %d out of range [0,%d)", diff, out)
+		}
+		row := int64(prev) + 1 + int64(diff)
+		if row >= int64(out) {
+			return fmt.Errorf("row %d out of range [0,%d)", row, out)
+		}
+		ld.Rows[i] = int32(row)
+		prev = int32(row)
+		cells, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if cells > uint64(in) {
+			return fmt.Errorf("row %d has %d cells, fan-in is %d", row, cells, in)
+		}
+		total += int64(cells)
+		ld.RowOff[i+1] = int32(total)
+	}
+	// Guard the allocation against a header that declares far more cells
+	// than the payload could possibly back: the remaining buffer must
+	// hold the bias block plus at least (1-byte column varint + 4-byte
+	// value) per declared cell. Without this, a few hostile header bytes
+	// could demand an out*in-cell allocation — and on layers wider than
+	// 2^31 cells, wrap the int32 offsets.
+	if total > int64(math.MaxInt32) || 4*int64(nr)+5*total > int64(len(r.buf)) {
+		return fmt.Errorf("declared %d cells exceed the %d-byte payload", total, len(r.buf))
+	}
+	for i := 0; i < nr; i++ {
+		bits, err := r.u32()
+		if err != nil {
+			return err
+		}
+		ld.Bias[i] = math.Float32frombits(bits)
+	}
+	nnz := int(total)
+	ld.Cols = grow(ld.Cols, nnz)
+	ld.Vals = grow(ld.Vals, nnz)
+	for i := 0; i < nr; i++ {
+		prevCol := int32(-1)
+		for k := ld.RowOff[i]; k < ld.RowOff[i+1]; k++ {
+			diff, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if diff >= uint64(in) { // see the row-diff overflow guard
+				return fmt.Errorf("row %d column diff %d out of range [0,%d)", ld.Rows[i], diff, in)
+			}
+			col := int64(prevCol) + 1 + int64(diff)
+			if col >= int64(in) {
+				return fmt.Errorf("row %d column %d out of range [0,%d)", ld.Rows[i], col, in)
+			}
+			ld.Cols[k] = int32(col)
+			prevCol = int32(col)
+		}
+	}
+	for k := 0; k < nnz; k++ {
+		bits, err := r.u32()
+		if err != nil {
+			return err
+		}
+		ld.Vals[k] = math.Float32frombits(bits)
+	}
+	return nil
+}
+
+// resizeLayers sets the delta's layer count, reusing backing arrays.
+func resizeLayers(d *core.SparseDelta, layers int) {
+	if cap(d.Layers) < layers {
+		d.Layers = make([]core.LayerDelta, layers)
+	}
+	d.Layers = d.Layers[:layers]
+}
+
+// grow returns s resized to n elements, reusing capacity.
+func grow[T int32 | float32](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reader is a bounds-checked sequential decoder.
+type reader struct{ buf []byte }
+
+func (r *reader) bytes(dst []byte) error {
+	if len(r.buf) < len(dst) {
+		return fmt.Errorf("dist: truncated delta (want %d bytes, have %d)", len(dst), len(r.buf))
+	}
+	copy(dst, r.buf[:len(dst)])
+	r.buf = r.buf[len(dst):]
+	return nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated or overlong varint")
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.buf) < 4 {
+		return 0, fmt.Errorf("dist: truncated delta (want 4 bytes, have %d)", len(r.buf))
+	}
+	v := binary.LittleEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+// uvarintLen returns the encoded length of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

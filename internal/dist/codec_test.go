@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testCodec builds a codec for a fixed 2-layer shape without a network.
+func testCodec(dims ...[2]int32) *Codec {
+	return &Codec{dims: dims}
+}
+
+// randomDelta builds a structurally valid random delta for dims: random
+// ascending row subsets, random ascending column spans (possibly empty),
+// values drawn over several magnitudes including negatives, biases zero
+// or not.
+func randomDelta(r *rand.Rand, dims [][2]int32) *core.SparseDelta {
+	d := &core.SparseDelta{Layers: make([]core.LayerDelta, len(dims))}
+	for li, dim := range dims {
+		out, in := int(dim[0]), int(dim[1])
+		ld := &d.Layers[li]
+		ld.RowOff = append(ld.RowOff, 0)
+		for j := 0; j < out; j++ {
+			if r.Float64() > 0.3 {
+				continue
+			}
+			ld.Rows = append(ld.Rows, int32(j))
+			for i := 0; i < in; i++ {
+				if r.Float64() > 0.2 {
+					continue
+				}
+				ld.Cols = append(ld.Cols, int32(i))
+				ld.Vals = append(ld.Vals, float32(r.NormFloat64()*math.Pow(10, float64(r.Intn(7)-3))))
+			}
+			ld.RowOff = append(ld.RowOff, int32(len(ld.Cols)))
+			var bias float32
+			if r.Float64() < 0.8 {
+				bias = float32(r.NormFloat64())
+			}
+			ld.Bias = append(ld.Bias, bias)
+		}
+	}
+	return d
+}
+
+func deltasEqual(a, b *core.SparseDelta) bool {
+	if len(a.Layers) != len(b.Layers) {
+		return false
+	}
+	for li := range a.Layers {
+		la, lb := &a.Layers[li], &b.Layers[li]
+		if len(la.Rows) != len(lb.Rows) || len(la.Cols) != len(lb.Cols) {
+			return false
+		}
+		for i := range la.Rows {
+			if la.Rows[i] != lb.Rows[i] || la.RowOff[i+1] != lb.RowOff[i+1] {
+				return false
+			}
+			if math.Float32bits(la.Bias[i]) != math.Float32bits(lb.Bias[i]) {
+				return false
+			}
+		}
+		for k := range la.Cols {
+			if la.Cols[k] != lb.Cols[k] || math.Float32bits(la.Vals[k]) != math.Float32bits(lb.Vals[k]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCodecRoundTripProperty: for many random deltas, encode → decode is
+// the identity and EncodedSize predicts the exact buffer length.
+func TestCodecRoundTripProperty(t *testing.T) {
+	dims := [][2]int32{{64, 700}, {256, 64}}
+	c := testCodec(dims...)
+	r := rand.New(rand.NewSource(41))
+	var buf []byte
+	var scratch *core.SparseDelta
+	for trial := 0; trial < 200; trial++ {
+		d := randomDelta(r, dims)
+		var err error
+		buf, err = c.AppendDelta(buf[:0], d)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		if got := c.EncodedSize(d); got != len(buf) {
+			t.Fatalf("trial %d: EncodedSize %d != encoded length %d", trial, got, len(buf))
+		}
+		scratch, err = c.DecodeDelta(scratch, buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !deltasEqual(d, scratch) {
+			t.Fatalf("trial %d: round-trip mismatch", trial)
+		}
+	}
+}
+
+// TestCodecCompactness: at SLIDE sparsity the wire size must sit far
+// below dense parameter sync and close to the 8-bytes-per-cell estimate
+// the dist-comm experiment historically reported.
+func TestCodecCompactness(t *testing.T) {
+	dims := [][2]int32{{64, 10000}, {20000, 64}}
+	c := testCodec(dims...)
+	r := rand.New(rand.NewSource(7))
+	d := &core.SparseDelta{Layers: make([]core.LayerDelta, 2)}
+	// Layer 1: 200 of 20000 rows touched, each with a full 64-column span
+	// — the SLIDE output-layer shape.
+	ld := &d.Layers[1]
+	ld.RowOff = append(ld.RowOff, 0)
+	for j := 0; j < 20000; j += 100 {
+		ld.Rows = append(ld.Rows, int32(j))
+		for i := 0; i < 64; i++ {
+			ld.Cols = append(ld.Cols, int32(i))
+			ld.Vals = append(ld.Vals, float32(r.NormFloat64()))
+		}
+		ld.RowOff = append(ld.RowOff, int32(len(ld.Cols)))
+		ld.Bias = append(ld.Bias, float32(r.NormFloat64()))
+	}
+	d.Layers[0].RowOff = []int32{0}
+
+	size := c.EncodedSize(d)
+	cells := int(d.Cells())
+	if perCell := float64(size) / float64(cells); perCell > 8 {
+		t.Fatalf("codec spends %.2f bytes/cell, above the 8 B index+value estimate", perCell)
+	}
+	dense := 4 * (64*10000 + 20000*64)
+	if size >= dense/50 {
+		t.Fatalf("sparse encoding %d B is not ≥50x below dense sync %d B", size, dense)
+	}
+}
+
+// TestCodecRejectsMalformed: truncations, bad magic, wrong shapes and
+// out-of-range ids all error instead of panicking or silently passing.
+func TestCodecRejectsMalformed(t *testing.T) {
+	dims := [][2]int32{{16, 32}}
+	c := testCodec(dims...)
+	d := randomDelta(rand.New(rand.NewSource(3)), dims)
+	buf, err := c.AppendDelta(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.DecodeDelta(nil, nil); err == nil {
+		t.Fatal("decoded empty buffer")
+	}
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, err := c.DecodeDelta(nil, buf[:len(buf)-cut]); err == nil {
+			t.Fatalf("decoded %d-byte truncation", cut)
+		}
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff
+	if _, err := c.DecodeDelta(nil, bad); err == nil {
+		t.Fatal("decoded bad magic")
+	}
+	if _, err := c.DecodeDelta(nil, append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("decoded trailing garbage")
+	}
+	other := testCodec([2]int32{16, 32}, [2]int32{8, 16})
+	if _, err := other.DecodeDelta(nil, buf); err == nil {
+		t.Fatal("decoded delta with wrong layer count")
+	}
+	// Out-of-range ids on encode.
+	badDelta := &core.SparseDelta{Layers: []core.LayerDelta{{
+		Rows:   []int32{16},
+		RowOff: []int32{0, 0},
+		Bias:   []float32{0},
+	}}}
+	if _, err := c.AppendDelta(nil, badDelta); err == nil {
+		t.Fatal("encoded out-of-range row")
+	}
+}
+
+// FuzzDecodeDelta drives the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and re-decode to the
+// same delta.
+func FuzzDecodeDelta(f *testing.F) {
+	dims := [][2]int32{{16, 600}, {64, 16}}
+	c := testCodec(dims...)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 4; i++ {
+		seed, err := c.AppendDelta(nil, randomDelta(r, dims))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'D', 'L', '1', 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := c.DecodeDelta(nil, data)
+		if err != nil {
+			return
+		}
+		buf, err := c.AppendDelta(nil, d)
+		if err != nil {
+			t.Fatalf("accepted delta failed to re-encode: %v", err)
+		}
+		again, err := c.DecodeDelta(nil, buf)
+		if err != nil {
+			t.Fatalf("re-encoded delta failed to decode: %v", err)
+		}
+		if !deltasEqual(d, again) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}
+
+// TestCodecRejectsAllocationBomb: a few header bytes declaring a huge
+// cell count must be rejected before the decoder allocates the declared
+// space — the payload has to actually back every declared cell.
+func TestCodecRejectsAllocationBomb(t *testing.T) {
+	c := testCodec([2]int32{1 << 16, 1 << 12})
+	var buf []byte
+	buf = append(buf, codecMagic[:]...)
+	buf = binary.AppendUvarint(buf, 1)     // one layer
+	buf = binary.AppendUvarint(buf, 1<<16) // every row touched...
+	for i := 0; i < 1<<16; i++ {
+		buf = binary.AppendUvarint(buf, 0)     // next row
+		buf = binary.AppendUvarint(buf, 1<<12) // ...with a full span: 2^28 cells
+	}
+	// No bias/cols/vals back the 2^28 declared cells.
+	if _, err := c.DecodeDelta(nil, buf); err == nil {
+		t.Fatal("decoder accepted a 256M-cell declaration backed by nothing")
+	}
+}
+
+// TestCodecRejectsOverflowingIDDiff: a 64-bit varint diff that would
+// wrap the id arithmetic negative must be rejected, not decoded into an
+// out-of-order or negative id (which would crash ApplyDelta or silently
+// truncate a merge downstream).
+func TestCodecRejectsOverflowingIDDiff(t *testing.T) {
+	c := testCodec([2]int32{16, 32})
+	var buf []byte
+	buf = append(buf, codecMagic[:]...)
+	buf = binary.AppendUvarint(buf, 1) // one layer
+	buf = binary.AppendUvarint(buf, 2) // two rows
+	buf = binary.AppendUvarint(buf, 5) // row 5
+	buf = binary.AppendUvarint(buf, 0) // no cells
+	// Second row's diff chosen so int64(5)+1+int64(diff) == -2.
+	buf = binary.AppendUvarint(buf, 1<<63+(1<<32-8))
+	buf = binary.AppendUvarint(buf, 0) // no cells
+	buf = binary.AppendUvarint(buf, 0) // pad: bias floats won't be reached
+	if d, err := c.DecodeDelta(nil, buf); err == nil {
+		t.Fatalf("decoder accepted an overflowing row diff: rows = %v", d.Layers[0].Rows)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package dist
+
+// raceEnabled mirrors internal/core's gate: multi-threaded training
+// tests switch HOGWILD's deliberate races to CAS updates under -race.
+const raceEnabled = true

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/hashtable"
+	"repro/internal/sampling"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "dist-train",
+		Title: "Sharded data-parallel training over sparse-delta exchange (§6)",
+		Run:   runDistTrain,
+	})
+}
+
+// runDistTrain measures the §6 claim end to end instead of estimating
+// it: a 2-shard data-parallel run over the real extract→encode→merge→
+// apply pipeline, against a single-process run with the same global
+// batch. It reports convergence side by side and the *measured* encoded
+// bytes each replica ships per iteration versus the dense parameter
+// synchronization a non-sparse data-parallel trainer would need.
+//
+// The run uses the distributed operating point the paper argues from:
+// the active set at the published ~0.5% fraction and a small per-shard
+// batch (Distributed SLIDE, arXiv:2201.12667, trains many low-bandwidth
+// CPU nodes with modest local batches). Wide local batches would union
+// their touched sets toward dense — the regime the dist-comm experiment
+// quantifies.
+func runDistTrain(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc, err := ScaleByName(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	const shards = 2
+	// maxIters caps both runs at the same step budget: small batches at
+	// large scales would otherwise derive tens of thousands of steps,
+	// and the comparison needs equal global data volume, not full
+	// convergence.
+	const maxIters = 1200
+
+	rep := &Report{ID: "dist-train", Title: "Data-parallel SLIDE over sparse-delta exchange"}
+	rep.AddNote("sparse bytes are measured through the dist codec (varint ids + float32 values), not estimated; dense sync = 4 bytes x params per iteration")
+	rep.AddNote("operating point: beta = max(32, 0.5%% of classes) (§5's active fraction), %d shards x a small per-shard batch (8 for Delicious, 4 for the wider-active Amazon task); the single-process baseline trains the same global batch", shards)
+	tab := Table{
+		Title: "2-shard vs single-process",
+		Header: []string{"dataset", "system", "P@1", "seconds", "sparse up/iter", "merged down/iter",
+			"dense sync/iter", "reduction", "exchange time"},
+	}
+	// Per-shard batch: the low-bandwidth §6 regime — each touched output
+	// row ships its full hidden-fan-in span, so the payload scales with
+	// batch x active set, and the wider-active Amazon task keeps the
+	// exchange small by running the smaller local batch (Distributed
+	// SLIDE shrinks local batches as clusters widen for the same reason).
+	perShards := []int{8, 4} // aligned with the workload list below
+	for wi, mk := range []func(Options, ScaleSpec) (*workload, error){deliciousWorkload, amazonWorkload} {
+		perShard := perShards[wi]
+		w, err := mk(opts, sc)
+		if err != nil {
+			return nil, err
+		}
+		cfg := w.slideConfig(opts, sampling.KindVanilla, hashtable.PolicyReservoir)
+		cfg.Layers[1].Beta = max(32, w.ds.NumClasses/200)
+
+		tc := w.trainConfig(opts, opts.Threads)
+		// Let TrainSharded divide the machine across replicas (and the
+		// 1-shard baseline take all of it): passing the resolved thread
+		// count through would oversubscribe the sharded run 2x and skew
+		// its seconds/exchange-share columns.
+		tc.Threads = 0
+		tc.BatchSize = shards * perShard
+		epochs := max(tc.Epochs, 1)
+		tc.Iterations = int64(epochs) * int64((len(w.ds.Train)+tc.BatchSize-1)/tc.BatchSize)
+		tc.Iterations = min(tc.Iterations, maxIters)
+		single, err := dist.TrainSharded(context.Background(), cfg, w.ds.Train, w.ds.Test, tc, 1)
+		if err != nil {
+			return nil, err
+		}
+		opts.logf("dist-train: %s single-process P@1=%.3f", w.ds.Name, single.Results[0].FinalAcc)
+
+		tc.BatchSize = perShard
+		sharded, err := dist.TrainSharded(context.Background(), cfg, w.ds.Train, w.ds.Test, tc, shards)
+		if err != nil {
+			return nil, err
+		}
+		opts.logf("dist-train: %s %d-shard P@1=%.3f", w.ds.Name, shards, sharded.Results[0].FinalAcc)
+
+		dense := float64(single.Nets[0].NumParams()) * 4
+		srow := single.Results[0]
+		tab.Rows = append(tab.Rows, []string{
+			w.ds.Name, "single", fmtF(srow.FinalAcc, 3), fmtF(srow.Seconds, 2),
+			"-", "-", humanBytes(dense), "-", "-",
+		})
+		drow := sharded.Results[0]
+		st := sharded.Stats[0]
+		up, down := st.BytesOutPerRound(), st.BytesInPerRound()
+		exchShare := float64(drow.ExchangeNS) / 1e9 / math.Max(drow.Seconds, 1e-9)
+		tab.Rows = append(tab.Rows, []string{
+			w.ds.Name, fmt.Sprintf("%d-shard", shards), fmtF(drow.FinalAcc, 3), fmtF(drow.Seconds, 2),
+			humanBytes(up), humanBytes(down), humanBytes(dense),
+			fmtF(dense/math.Max(up, 1), 0) + "x", fmtF(100*exchShare, 0) + "%",
+		})
+		rep.AddNote("%s: |ΔP@1| = %.3f between single and %d-shard; replicas end bit-identical by construction (shared merged delta)",
+			w.ds.Name, math.Abs(srow.FinalAcc-drow.FinalAcc), shards)
+
+		_, iterS := curveSeries(w.ds.Name+" single", srow.Curve.Points)
+		rep.Series = append(rep.Series, iterS)
+		_, iterD := curveSeries(fmt.Sprintf("%s %d-shard", w.ds.Name, shards), drow.Curve.Points)
+		rep.Series = append(rep.Series, iterD)
+	}
+	rep.Tables = append(rep.Tables, tab)
+	rep.AddNote("the reduction grows with model size: the dense payload scales with params while the sparse delta scales with batch x active set; at tiny scales the two are close and the exchange is uninteresting")
+	return rep, nil
+}

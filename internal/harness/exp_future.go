@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/hashtable"
 	"repro/internal/sampling"
 )
@@ -23,11 +25,12 @@ func init() {
 
 // runDistComm quantifies the paper's closing claim — "a distributed
 // implementation of SLIDE would be very appealing because the
-// communication costs are minimal due to sparse gradients" — by
-// measuring the touched-weight payload a data-parallel replica would
-// ship per iteration (index + value, 8 bytes per cell) against the dense
-// full-gradient synchronization (4 bytes per parameter), for SLIDE and
-// for the dense baseline on the same tasks.
+// communication costs are minimal due to sparse gradients" — with the
+// real pipeline: training runs through a single-shard loopback exchanger
+// (bit-identical to a plain run), so every batch's SparseDelta passes
+// through the dist codec and its encoded size is *measured*. The old
+// 8-bytes-per-cell estimate is kept alongside as validation, against the
+// dense full-gradient synchronization (4 bytes per parameter).
 func runDistComm(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	sc, err := ScaleByName(opts.Scale)
@@ -35,31 +38,30 @@ func runDistComm(opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{ID: "dist-comm", Title: "Per-iteration gradient communication volume"}
-	rep.AddNote("sparse payload = touched weight cells x 8 bytes (index+value); dense payload = all parameters x 4 bytes")
+	rep.AddNote("measured = encoded SparseDelta bytes through the dist codec (varint ids + float32 values); estimate = touched cells x 8 bytes (index+value); dense = all parameters x 4 bytes")
 	tab := Table{
 		Title: "gradient payload per iteration",
-		Header: []string{"dataset", "params", "touched cells/iter", "batch-sync sparse",
-			"batch-sync dense", "reduction", "per-element async", "async reduction"},
+		Header: []string{"dataset", "params", "touched cells/iter", "measured codec", "8 B/cell estimate",
+			"measured/estimate", "batch-sync dense", "reduction", "per-element async", "async reduction"},
 	}
 	for _, mk := range []func(Options, ScaleSpec) (*workload, error){deliciousWorkload, amazonWorkload} {
 		w, err := mk(opts, sc)
 		if err != nil {
 			return nil, err
 		}
-		net, err := core.NewNetwork(w.slideConfig(opts, sampling.KindVanilla, hashtable.PolicyReservoir))
-		if err != nil {
-			return nil, err
-		}
+		cfg := w.slideConfig(opts, sampling.KindVanilla, hashtable.PolicyReservoir)
 		tc := w.trainConfig(opts, opts.Threads)
 		tc.Iterations = 50
 		tc.EvalEvery = 0
 		opts.logf("dist-comm: %s", w.ds.Name)
-		res, err := net.Train(w.ds.Train, w.ds.Test, tc)
+		run, err := dist.TrainSharded(context.Background(), cfg, w.ds.Train, w.ds.Test, tc, 1)
 		if err != nil {
 			return nil, err
 		}
-		params := net.NumParams()
-		sparseBytes := res.TouchedPerIter * 8
+		res := run.Results[0]
+		params := run.Nets[0].NumParams()
+		measured := run.Stats[0].BytesOutPerRound()
+		estBytes := res.TouchedPerIter * 8
 		denseBytes := float64(params) * 4
 		// The paper's asynchronous design ships each element's update as
 		// it happens: active output neurons x (hidden fan-in + bias)
@@ -69,15 +71,17 @@ func runDistComm(opts Options) (*Report, error) {
 			w.ds.Name,
 			fmt.Sprintf("%d", params),
 			fmtF(res.TouchedPerIter, 0),
-			humanBytes(sparseBytes),
+			humanBytes(measured),
+			humanBytes(estBytes),
+			fmtF(measured/estBytes, 2),
 			humanBytes(denseBytes),
-			fmtF(denseBytes/sparseBytes, 1) + "x",
+			fmtF(denseBytes/measured, 1) + "x",
 			humanBytes(perElem),
 			fmtF(denseBytes/perElem, 0) + "x",
 		})
 	}
 	rep.Tables = append(rep.Tables, tab)
-	rep.AddNote("batch-synchronous exchange ships the union of the batch's touched cells, which saturates for wide batches; the paper's asynchronous per-element pushes (last two columns) keep the payload at activeNeurons x fanIn cells regardless of batch size — the regime behind the §6 claim")
+	rep.AddNote("batch-synchronous exchange ships the union of the batch's touched cells, which saturates for wide batches (the varint codec beating the 8 B/cell estimate notwithstanding); small per-shard batches or the paper's per-element pushes (last two columns) keep the payload at activeNeurons x fanIn cells — the regime behind the §6 claim, measured end to end by dist-train")
 	return rep, nil
 }
 

@@ -97,6 +97,28 @@ type (
 // Adam holds the optimizer hyperparameters for Config.Adam.
 type Adam = optim.Adam
 
+// SparseDelta is one batch's gradient in explicit sparse form — per layer
+// the touched neuron rows, touched input columns, raw gradient sums and
+// bias gradients (§3.1's s² fraction, §6's distributed exchange payload).
+// Network.ExtractDelta produces it at a batch boundary and
+// Network.ApplyDelta consumes it; repro/dist merges and ships it between
+// data-parallel replicas. LayerDelta is one layer's slice of it.
+type (
+	SparseDelta = core.SparseDelta
+	LayerDelta  = core.LayerDelta
+)
+
+// DeltaExchanger merges one replica's per-batch SparseDelta with its
+// peers' (TrainConfig.Exchanger); repro/dist provides the in-process
+// all-reduce and TCP implementations.
+type DeltaExchanger = core.DeltaExchanger
+
+// MergeDeltas sums deltas cell-wise in part order into dst (reused when
+// non-nil) — the deterministic merge data-parallel replicas apply.
+func MergeDeltas(dst *SparseDelta, parts []*SparseDelta) (*SparseDelta, error) {
+	return core.MergeDeltas(dst, parts)
+}
+
 // HashKind, StrategyKind, Policy and UpdateMode are the configuration
 // enum types behind the Hash*/Strategy*/Policy*/Update* constants.
 type (
