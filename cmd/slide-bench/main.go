@@ -22,14 +22,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
-		scale   = flag.String("scale", "small", "workload scale: tiny|small|medium|paper")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		sweep   = flag.String("sweep", "", "comma-separated thread counts for scaling experiments")
-		out     = flag.String("out", "", "directory for CSV output (optional)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		exp      = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		scale    = flag.String("scale", "small", "workload scale: tiny|small|medium|paper")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		sweep    = flag.String("sweep", "", "comma-separated thread counts for scaling experiments")
+		out      = flag.String("out", "", "directory for CSV output (optional)")
+		jsonPath = flag.String("json", "", "file for a JSON report of the experiment (single -exp only); records perf trajectories like BENCH_kernels.json")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
 
@@ -65,6 +66,9 @@ func main() {
 	}
 
 	if *exp == "all" {
+		if *jsonPath != "" {
+			fatalf("-json needs a single -exp, not 'all'")
+		}
 		if err := harness.RunAll(opts, os.Stdout); err != nil {
 			fatalf("%v", err)
 		}
@@ -82,6 +86,19 @@ func main() {
 	if *out != "" {
 		if err := rep.WriteCSV(*out); err != nil {
 			fatalf("writing CSV: %v", err)
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatalf("creating JSON report: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatalf("writing JSON report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing JSON report: %v", err)
 		}
 	}
 }

@@ -53,7 +53,7 @@ func main() {
 		maxK        = flag.Int("max-k", 100, "largest top-k a request may ask for")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "maximum micro-batch gathering window (0 disables batching)")
 		batchMax    = flag.Int("batch-max", 64, "maximum requests per micro-batch")
-		adaptive    = flag.Bool("adaptive-window", true, "derive each gather window from the observed arrival rate (EWMA), clamped to [0, -batch-window]")
+		adaptive    = flag.Bool("adaptive-window", true, "derive each gather window from the observed arrival rate (one EWMA per inference mode), clamped to [0, -batch-window]")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -87,7 +87,7 @@ func main() {
 	stopHUP := srv.watchSIGHUP(log.Printf)
 	defer stopHUP()
 
-	window := "adaptive ≤ " + batchWindow.String()
+	window := "adaptive per mode ≤ " + batchWindow.String()
 	if !*adaptive {
 		window = batchWindow.String()
 	}

@@ -97,8 +97,21 @@ type server struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
-	stats    statsRecorder
-	arrivals arrivalEstimator
+	stats statsRecorder
+	// arrivals tracks one inter-arrival estimator per inference mode,
+	// indexed by modeIdx: exact and sampled requests have very different
+	// service times and traffic mixes, so each micro-batch's gather
+	// window is sized from the arrival rate of its own mode rather than
+	// a blended estimate that overstates both.
+	arrivals [2]arrivalEstimator
+}
+
+// modeIdx indexes per-mode state: 0 exact, 1 sampled.
+func modeIdx(sampled bool) int {
+	if sampled {
+		return 1
+	}
+	return 0
 }
 
 // pendingReq is one /predict request waiting for a micro-batch slot. It
@@ -134,7 +147,9 @@ func newServer(net *slide.Network, opts serverOptions) (*server, error) {
 		reqCh: make(chan *pendingReq, 4*opts.BatchMax),
 		done:  make(chan struct{}),
 	}
-	s.arrivals.gapCapNS = gapCapWindows * float64(opts.BatchWindow)
+	for m := range s.arrivals {
+		s.arrivals[m].gapCapNS = gapCapWindows * float64(opts.BatchWindow)
+	}
 	s.eng.Store(eng)
 	s.wg.Add(1)
 	go s.batchLoop()
@@ -225,12 +240,13 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// head-of-line-blocks the batcher for unrelated traffic.
 		rep = s.runOne(r.Context(), p)
 	} else if s.opts.BatchWindow > 0 {
-		// Only queue-bound requests feed the arrival-rate estimate (they
-		// are the population the gather window is sized for), and only
-		// when the adaptive window consumes it — the estimator's mutex
-		// has no business on the hot path of a fixed-window deployment.
+		// Only queue-bound requests feed their mode's arrival-rate
+		// estimate (they are the population the gather window is sized
+		// for), and only when the adaptive window consumes it — the
+		// estimator's mutex has no business on the hot path of a
+		// fixed-window deployment.
 		if s.opts.AdaptiveWindow {
-			s.arrivals.observe(t0)
+			s.arrivals[modeIdx(p.sampled)].observe(t0)
 		}
 		select {
 		case s.reqCh <- p:
@@ -500,11 +516,21 @@ func (s *server) watchSIGHUP(logf func(format string, args ...any)) (stop func()
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.stats.snapshot()
 	if s.opts.AdaptiveWindow {
-		if ewma, primed := s.arrivals.interarrival(); primed {
-			snap.EWMAInterarrivalMillis = float64(ewma.Microseconds()) / 1000
-			win := s.arrivals.window(s.opts.BatchWindow, s.opts.BatchMax)
-			winMS := float64(win.Microseconds()) / 1000
-			snap.AdaptiveWindowMillis = &winMS
+		for m := range s.arrivals {
+			ewma, primed := s.arrivals[m].interarrival()
+			if !primed {
+				continue
+			}
+			win := s.arrivals[m].window(s.opts.BatchWindow, s.opts.BatchMax)
+			ms := &adaptiveModeStats{
+				EWMAInterarrivalMillis: float64(ewma.Microseconds()) / 1000,
+				WindowMillis:           float64(win.Microseconds()) / 1000,
+			}
+			if m == 1 {
+				snap.AdaptiveSampled = ms
+			} else {
+				snap.AdaptiveExact = ms
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -528,7 +554,11 @@ func (s *server) batchLoop() {
 		batch := []*pendingReq{first}
 		window := s.opts.BatchWindow
 		if s.opts.AdaptiveWindow {
-			window = s.arrivals.window(s.opts.BatchWindow, s.opts.BatchMax)
+			// The window is sized for the mode that opened the batch:
+			// peers of the other mode may still join the gather, but the
+			// wait is justified (or skipped) by the traffic the batch
+			// will actually ride with.
+			window = s.arrivals[modeIdx(first.sampled)].window(s.opts.BatchWindow, s.opts.BatchMax)
 		}
 		if window <= 0 {
 			// No second arrival expected in time: take whatever is
@@ -769,20 +799,30 @@ func (sr *statsRecorder) record(ms float64, batchSize int) {
 	}
 }
 
+// adaptiveModeStats reports one mode's arrival estimator: the observed
+// mean gap between batchable requests of that mode, and the gather
+// window the next micro-batch opened by that mode would use. A zero
+// WindowMillis is the designed sparse-traffic state (no peer expected in
+// time, so don't wait), distinguishable from "estimator unprimed or
+// feature disabled" because the whole struct is then absent.
+type adaptiveModeStats struct {
+	EWMAInterarrivalMillis float64 `json:"ewma_interarrival_ms"`
+	WindowMillis           float64 `json:"window_ms"`
+}
+
 type statsSnapshot struct {
 	Requests      int64   `json:"requests"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	P50Millis     float64 `json:"p50_ms"`
 	P90Millis     float64 `json:"p90_ms"`
 	P99Millis     float64 `json:"p99_ms"`
-	// EWMAInterarrivalMillis and AdaptiveWindowMillis report the arrival
-	// estimator when -adaptive-window is on and primed: the observed
-	// mean gap between batchable requests, and the gather window the
-	// next micro-batch would use. The window is a pointer so the
-	// designed zero-window state (sparse traffic) stays distinguishable
-	// from "estimator unprimed or feature disabled" (field absent).
-	EWMAInterarrivalMillis float64  `json:"ewma_interarrival_ms,omitempty"`
-	AdaptiveWindowMillis   *float64 `json:"adaptive_window_ms,omitempty"`
+	// AdaptiveExact / AdaptiveSampled report the per-mode arrival
+	// estimators when -adaptive-window is on and the mode's estimator is
+	// primed. The modes are tracked separately: exact and sampled
+	// traffic arrive at independent rates, and each micro-batch's gather
+	// window is sized from the estimator of the mode that opened it.
+	AdaptiveExact   *adaptiveModeStats `json:"adaptive_exact,omitempty"`
+	AdaptiveSampled *adaptiveModeStats `json:"adaptive_sampled,omitempty"`
 }
 
 func (sr *statsRecorder) snapshot() statsSnapshot {

@@ -739,8 +739,62 @@ func TestAdaptiveWindowServing(t *testing.T) {
 	if snap.Requests < 40 {
 		t.Fatalf("stats saw %d requests", snap.Requests)
 	}
-	if snap.EWMAInterarrivalMillis <= 0 {
-		t.Fatalf("primed estimator missing from stats: %+v", snap)
+	if snap.AdaptiveExact == nil || snap.AdaptiveExact.EWMAInterarrivalMillis <= 0 {
+		t.Fatalf("primed exact-mode estimator missing from stats: %+v", snap)
+	}
+	// All traffic so far was exact; the sampled estimator must not have
+	// been fed by it (the modes are tracked separately).
+	if snap.AdaptiveSampled != nil {
+		t.Fatalf("sampled estimator primed by exact traffic: %+v", snap.AdaptiveSampled)
+	}
+}
+
+// TestPerModeAdaptiveWindows: each mode's estimator is fed only by its
+// own traffic, and /stats reports both once both are primed.
+func TestPerModeAdaptiveWindows(t *testing.T) {
+	ts := startServer(t, serverOptions{
+		BatchWindow:    2 * time.Millisecond,
+		AdaptiveWindow: true,
+		BatchMax:       8,
+	})
+
+	post := func(sampled bool) {
+		t.Helper()
+		body := `{"indices":[1,5],"values":[1,0.5],"k":2}`
+		if sampled {
+			body = `{"indices":[1,5],"values":[1,0.5],"k":2,"sampled":true}`
+		}
+		code, pr := postPredict(t, ts.URL, body)
+		if code != http.StatusOK || len(pr.IDs) != 2 {
+			t.Fatalf("sampled=%v: code %d ids %v", sampled, code, pr.IDs)
+		}
+	}
+	// Interleave enough of each mode to prime both estimators (priming
+	// needs 3 gaps per mode).
+	for i := 0; i < 6; i++ {
+		post(false)
+		post(true)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap statsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.AdaptiveExact == nil || snap.AdaptiveExact.EWMAInterarrivalMillis <= 0 {
+		t.Fatalf("exact estimator not reported: %+v", snap)
+	}
+	if snap.AdaptiveSampled == nil || snap.AdaptiveSampled.EWMAInterarrivalMillis <= 0 {
+		t.Fatalf("sampled estimator not reported: %+v", snap)
+	}
+	for _, m := range []*adaptiveModeStats{snap.AdaptiveExact, snap.AdaptiveSampled} {
+		if m.WindowMillis < 0 || time.Duration(m.WindowMillis*float64(time.Millisecond)) > 2*time.Millisecond {
+			t.Fatalf("window %.3fms outside [0, BatchWindow]", m.WindowMillis)
+		}
 	}
 }
 

@@ -73,6 +73,9 @@ func (l *Layer) applyAdamFused(n *Network, alpha, invB float32, workers int) int
 				for i := range g {
 					if gi := g[i]; gi != 0 {
 						adam.Step1(&w[i], &m[i], &v[i], gi*invB, alpha)
+						if l.mirror != nil {
+							l.mirror.Set(int32(j), int32(i), w[i])
+						}
 						g[i] = 0
 						applied++
 					}
@@ -81,6 +84,9 @@ func (l *Layer) applyAdamFused(n *Network, alpha, invB float32, workers int) int
 				for _, i := range cols {
 					if gi := g[i]; gi != 0 {
 						adam.Step1(&w[i], &m[i], &v[i], gi*invB, alpha)
+						if l.mirror != nil {
+							l.mirror.Set(int32(j), i, w[i])
+						}
 						g[i] = 0
 						applied++
 					}

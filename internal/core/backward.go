@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/optim"
 	"repro/internal/sparse"
+	"repro/internal/vecmath"
 )
 
 // backwardElem runs sparse message-passing backpropagation for one batch
@@ -46,17 +47,18 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 
 		var acc []float32
 		if li > 0 {
-			acc = st.acc[:len(inVals)]
+			acc = st.work.EnsureAcc(len(inVals))
 			for i := range acc {
 				acc[i] = 0
 			}
 		}
 
+		fused := n.kern.Fused()
 		switch n.cfg.UpdateMode {
 		case optim.ModeHogwild:
-			l.accumulate(ls, inIds, inVals, inFull, acc, false)
+			l.accumulate(ls, inIds, inVals, inFull, acc, false, fused)
 		case optim.ModeAtomic:
-			l.accumulate(ls, inIds, inVals, inFull, acc, true)
+			l.accumulate(ls, inIds, inVals, inFull, acc, true, fused)
 		case optim.ModeBatchSync:
 			backLayerAccOnly(l, ls, inIds, inVals, inFull, acc)
 			rec.capture(li, ls, inIds, inVals, inFull, li == 0)
@@ -84,7 +86,12 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 // written, preserving classical backprop semantics within the element.
 // The inner loops are specialized per (input density, atomicity) because
 // they execute once per active weight — the hottest code in training.
-func (l *Layer) accumulate(ls *layerState, inIds []int32, inVals []float32, inFull bool, acc []float32, atomic bool) {
+// With fused set (every kernel mode but legacy) the non-atomic rows run
+// the vecmath outer-product kernels; the scalar reference loops survive
+// in accRowLegacy for the equivalence tests. Rows are visited in whatever
+// order ls.ids carries — ascending after a gather-form forward pass,
+// which walks the weight and gradient slabs monotonically.
+func (l *Layer) accumulate(ls *layerState, inIds []int32, inVals []float32, inFull bool, acc []float32, atomic, fused bool) {
 	epoch := l.batchEpoch
 	if l.colStamp != nil && !inFull {
 		// Mark touched input columns once per element (racy same-value
@@ -95,16 +102,16 @@ func (l *Layer) accumulate(ls *layerState, inIds []int32, inVals []float32, inFu
 	}
 	if ls.full {
 		for j := range ls.vals {
-			l.accRow(int32(j), ls.delta[j], epoch, inIds, inVals, inFull, acc, atomic)
+			l.accRow(int32(j), ls.delta[j], epoch, inIds, inVals, inFull, acc, atomic, fused)
 		}
 		return
 	}
 	for a, j := range ls.ids {
-		l.accRow(j, ls.delta[a], epoch, inIds, inVals, inFull, acc, atomic)
+		l.accRow(j, ls.delta[a], epoch, inIds, inVals, inFull, acc, atomic, fused)
 	}
 }
 
-func (l *Layer) accRow(j int32, dj float32, epoch uint32, inIds []int32, inVals []float32, inFull bool, acc []float32, atomic bool) {
+func (l *Layer) accRow(j int32, dj float32, epoch uint32, inIds []int32, inVals []float32, inFull bool, acc []float32, atomic, fused bool) {
 	if dj == 0 {
 		return
 	}
@@ -114,6 +121,27 @@ func (l *Layer) accRow(j int32, dj float32, epoch uint32, inIds []int32, inVals 
 		l.accRowAtomic(j, dj, w, g, inIds, inVals, inFull, acc)
 		return
 	}
+	if !fused {
+		l.accRowLegacy(j, dj, w, g, inIds, inVals, inFull, acc)
+		return
+	}
+	switch {
+	case inFull && acc != nil:
+		n := len(inVals)
+		vecmath.OuterAcc(dj, inVals, w[:n], g[:n], acc[:n])
+	case inFull:
+		vecmath.Axpy(dj, inVals, g[:len(inVals)])
+	case acc != nil:
+		vecmath.SparseOuterAcc(dj, inIds, inVals, w, g, acc[:len(inIds)])
+	default:
+		vecmath.SparseAxpy(dj, inIds, inVals, g)
+	}
+	l.gB[j] += dj
+}
+
+// accRowLegacy is the pre-engine scalar row update, kept bit-for-bit as
+// the reference the fused kernels are tested against.
+func (l *Layer) accRowLegacy(j int32, dj float32, w, g []float32, inIds []int32, inVals []float32, inFull bool, acc []float32) {
 	switch {
 	case inFull && acc != nil:
 		n := len(inVals)

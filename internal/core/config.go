@@ -18,10 +18,64 @@ import (
 	"runtime"
 
 	"repro/internal/hashtable"
+	"repro/internal/kernels"
 	"repro/internal/lsh"
 	"repro/internal/optim"
 	"repro/internal/sampling"
 )
+
+// KernelMode selects the forward/backward kernel engine
+// (internal/kernels). The zero value is the density-adaptive engine; the
+// other modes pin one form, for equivalence tests, benchmarks and the
+// kernels experiment's ablation.
+type KernelMode int
+
+const (
+	// KernelAuto plans each pass from the measured input density:
+	// gather for sampled/dense-input layers, scatter for mirrored dense
+	// layers on sparse inputs below the density crossover.
+	KernelAuto KernelMode = iota
+	// KernelLegacy runs the pre-engine per-neuron reference path —
+	// unsorted active ids, unfused scalar row loops. Kept alive as the
+	// equivalence-test baseline, the same role applyAdamFused plays for
+	// the optimizer.
+	KernelLegacy
+	// KernelGather forces the gather form everywhere.
+	KernelGather
+	// KernelScatter forces the scatter form wherever a mirror exists
+	// (elsewhere it degrades to gather — the form is incomputable).
+	KernelScatter
+)
+
+// String returns the configuration name of the kernel mode.
+func (k KernelMode) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelLegacy:
+		return "legacy"
+	case KernelGather:
+		return "gather"
+	case KernelScatter:
+		return "scatter"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(k))
+	}
+}
+
+// kernelConfig maps the mode to the engine's planning policy.
+func (k KernelMode) kernelConfig() kernels.Config {
+	var c kernels.Config
+	switch k {
+	case KernelLegacy:
+		c.Force = kernels.FormLegacy
+	case KernelGather:
+		c.Force = kernels.FormGather
+	case KernelScatter:
+		c.Force = kernels.FormScatter
+	}
+	return c.WithDefaults()
+}
 
 // Activation selects a layer non-linearity.
 type Activation int
@@ -135,6 +189,13 @@ type Config struct {
 	// contiguous arena slabs and cache-line row padding.
 	Layout  Layout
 	PadRows bool
+
+	// Kernels selects the forward/backward kernel engine form. The
+	// default (KernelAuto) picks gather or scatter per pass from the
+	// measured input density; KernelLegacy restores the per-neuron
+	// reference path. Serialized with the model config; files written
+	// before the field existed load as KernelAuto.
+	Kernels KernelMode
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +217,9 @@ func (c Config) validate() error {
 	}
 	if len(c.Layers) == 0 {
 		return fmt.Errorf("core: at least one layer required")
+	}
+	if c.Kernels < KernelAuto || c.Kernels > KernelScatter {
+		return fmt.Errorf("core: unknown kernel mode %d", int(c.Kernels))
 	}
 	for i, lc := range c.Layers {
 		if lc.Size <= 0 {

@@ -340,6 +340,9 @@ func scanStamps(stamps []uint32, epoch uint32, workers int, dst []int32) []int32
 // Vals*invB) and non-zero biases, returning the number of cells stepped.
 // Work parallelizes over rows; each row has a single writer. Cell for
 // cell this is the identical arithmetic to the fused applyAdamFused path.
+// Layers carrying a column-major kernel mirror dual-write each stepped
+// cell into it, keeping the scatter-form forward operand coherent for one
+// extra store per touched weight.
 func (l *Layer) ApplyDelta(adam optim.Adam, ld *LayerDelta, alpha, invB float32, workers int) int64 {
 	counts := make([]int64, max(workers, 1))
 	parallelIndexed(workers, len(ld.Rows), func(wk, lo, hi int) {
@@ -350,6 +353,9 @@ func (l *Layer) ApplyDelta(adam optim.Adam, ld *LayerDelta, alpha, invB float32,
 			for k := ld.RowOff[r]; k < ld.RowOff[r+1]; k++ {
 				i := ld.Cols[k]
 				adam.Step1(&w[i], &m[i], &v[i], ld.Vals[k]*invB, alpha)
+				if l.mirror != nil {
+					l.mirror.Set(j, i, w[i])
+				}
 				applied++
 			}
 			if gb := ld.Bias[r]; gb != 0 {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/sparse"
+	"repro/internal/vecmath"
 )
 
 // EvalResult reports precision metrics over an evaluation set.
@@ -119,7 +120,10 @@ func (n *Network) Evaluate(test []dataset.Example, samples, threads int, ks ...i
 }
 
 // evalP1 is the training loop's periodic evaluation: exact forward P@1
-// over a fixed index subset, reusing the provided per-worker states.
+// over a fixed index subset, reusing the provided per-worker states. The
+// exact pass runs the same kernel plans as training — notably the
+// scatter form on the mirrored input layer — so periodic evaluation
+// shares the hot path's layout wins.
 func (n *Network) evalP1(test []dataset.Example, idx []int, states []*elemState) float64 {
 	if len(idx) == 0 {
 		return 0
@@ -132,13 +136,7 @@ func (n *Network) evalP1(test []dataset.Example, idx []int, states []*elemState)
 			ex := &test[idx[k]]
 			n.forwardElem(st, ex.Features, nil, modeEvalFull)
 			out := &st.layers[len(st.layers)-1]
-			best, bi := out.vals[0], 0
-			for i, v := range out.vals[1:] {
-				if v > best {
-					best, bi = v, i+1
-				}
-			}
-			if containsSortedLabel(ex.Labels, int32(bi)) {
+			if containsSortedLabel(ex.Labels, int32(vecmath.ArgMax(out.vals))) {
 				h++
 			}
 		}

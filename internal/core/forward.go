@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"slices"
 
+	"repro/internal/kernels"
 	"repro/internal/sparse"
 	"repro/internal/vecmath"
 )
@@ -27,6 +29,9 @@ const (
 // lines 8-13): at each sampled layer the layer input is hashed, active
 // neuron ids are retrieved from the tables (Algorithm 2), and only their
 // activations are computed; all other activations are treated as zero.
+// Activation compute routes through the density-adaptive kernel engine
+// (internal/kernels): each (layer, active set) pass is planned as a
+// gather or scatter kernel from the measured input density.
 func (n *Network) forwardElem(st *elemState, x sparse.Vector, labels []int32, mode forwardMode) {
 	st.nextEpoch()
 	inIds := x.Idx
@@ -38,14 +43,14 @@ func (n *Network) forwardElem(st *elemState, x sparse.Vector, labels []int32, mo
 		useAll := !l.Sampled() || mode == modeEvalFull
 		if useAll {
 			ls.reset(true, l.out)
-			ls.vals = ls.vals[:l.out]
+			ls.sizeVals(l.out)
 		} else {
 			n.selectActive(st, li, inIds, inVals, inFull, labels, mode == modeTrain && li == last)
-			ls.vals = ls.vals[:len(ls.ids)]
+			ls.sizeVals(len(ls.ids))
 			st.activeSum[li] += int64(len(ls.ids))
 			st.activeCount[li]++
 		}
-		computeActivations(l, ls, inIds, inVals, inFull)
+		n.computeActivations(st, l, ls, inIds, inVals, inFull)
 		inIds = ls.ids
 		inVals = ls.vals
 		inFull = ls.full
@@ -54,8 +59,9 @@ func (n *Network) forwardElem(st *elemState, x sparse.Vector, labels []int32, mo
 
 // selectActive fills st.layers[li].ids by hashing the layer input and
 // querying the tables with the layer's strategy, force-including labels
-// when asked, and falling back to a random draw if retrieval comes back
-// empty (possible right after initialization when buckets are sparse).
+// when asked, and falling back to a draw of Beta random neurons if
+// retrieval comes back empty (possible right after initialization when
+// buckets are sparse).
 func (n *Network) selectActive(st *elemState, li int, inIds []int32, inVals []float32, inFull bool, labels []int32, forceLabels bool) {
 	l := n.layers[li]
 	ls := &st.layers[li]
@@ -86,26 +92,90 @@ func (n *Network) selectActive(st *elemState, li int, inIds []int32, inVals []fl
 		}
 	}
 	if len(ls.ids) == 0 {
-		want := l.cfg.Beta
-		if want <= 0 {
-			want = 32
-		}
-		if want > l.out {
-			want = l.out
-		}
-		for len(ls.ids) < want {
-			id := int32(st.rng.Intn(l.out))
+		n.fallbackActive(st, li)
+	}
+}
+
+// fallbackActive fills an empty retrieval with Beta random neuron ids.
+// Below half the layer it rejection-samples distinct ids; at or above it
+// the rejection loop degenerates into a coupon-collector scan (Beta near
+// l.out needs ~out·ln(out) draws to find the last few free ids), so the
+// fill switches to a deterministic wrap-around run from one random start
+// — a single RNG draw, O(out) work, and still reproducible under a fixed
+// seed.
+func (n *Network) fallbackActive(st *elemState, li int) {
+	l := n.layers[li]
+	ls := &st.layers[li]
+	want := l.cfg.Beta
+	if want <= 0 {
+		want = 32
+	}
+	if want > l.out {
+		want = l.out
+	}
+	if 2*want >= l.out {
+		start := st.rng.Intn(l.out)
+		for off := 0; off < l.out && len(ls.ids) < want; off++ {
+			id := int32((start + off) % l.out)
 			if !st.markSeen(li, id) {
 				ls.ids = append(ls.ids, id)
 			}
 		}
+		return
+	}
+	for len(ls.ids) < want {
+		id := int32(st.rng.Intn(l.out))
+		if !st.markSeen(li, id) {
+			ls.ids = append(ls.ids, id)
+		}
 	}
 }
 
-// computeActivations computes pre-activations for the active set and
-// applies the layer non-linearity. Softmax normalizes over the active set
-// only (§3.1).
-func computeActivations(l *Layer, ls *layerState, inIds []int32, inVals []float32, inFull bool) {
+// computeActivations computes pre-activations for the active set through
+// the planned kernel form and applies the layer non-linearity. Softmax
+// normalizes over the active set only (§3.1).
+//
+//   - gather: active ids are sorted (ascending rows — locality for this
+//     pass's weight walk and the backward pass that revisits the same
+//     rows), then each row runs one fused dot+bias(+ReLU).
+//   - scatter: the full dense output accumulates one contiguous
+//     column-Axpy per input nonzero from the layer's column-major
+//     mirror; ls.vals doubles as the active-dense workspace.
+//   - legacy: the pre-engine per-neuron loop, unsorted and unfused, kept
+//     as the equivalence-test reference.
+func (n *Network) computeActivations(st *elemState, l *Layer, ls *layerState, inIds []int32, inVals []float32, inFull bool) {
+	form := n.kern.ForwardForm(len(inIds), l.in, inFull, l.mirror != nil)
+	st.work.Forms[form]++
+	relu := l.cfg.Activation == ActReLU
+	switch form {
+	case kernels.FormScatter:
+		kernels.ScatterForward(ls.vals, l.mirror, l.b, inIds, inVals, relu)
+	case kernels.FormGather:
+		ids := ls.ids
+		if ls.full {
+			ids = nil
+		} else {
+			slices.Sort(ids)
+		}
+		kernels.GatherForward(ls.vals, ids, l.w, l.b, inIds, inVals, inFull, relu)
+	default: // kernels.FormLegacy
+		computeActivationsLegacy(l, ls, inIds, inVals, inFull)
+		return // legacy applies its own non-linearity
+	}
+	switch l.cfg.Activation {
+	case ActSoftmax:
+		vecmath.Softmax(ls.vals)
+	case ActReLU, ActLinear:
+		// ReLU is fused into the kernels above; linear is the identity.
+	}
+}
+
+// computeActivationsLegacy is the pre-engine per-neuron formulation — one
+// scattered sparse dot per active neuron over unsorted ids, activation
+// applied as a separate pass. No longer used by KernelAuto networks; it
+// survives as the bit-for-bit reference the kernel equivalence tests
+// compare gather and scatter against (the applyAdamFused pattern).
+func computeActivationsLegacy(l *Layer, ls *layerState, inIds []int32, inVals []float32, inFull bool) {
 	if ls.full {
 		for j := 0; j < l.out; j++ {
 			ls.vals[j] = preact(l, int32(j), inIds, inVals, inFull)
@@ -126,7 +196,7 @@ func computeActivations(l *Layer, ls *layerState, inIds []int32, inVals []float3
 
 func preact(l *Layer, j int32, inIds []int32, inVals []float32, inFull bool) float32 {
 	if inFull {
-		return l.b[j] + vecmath.Dot(l.w[j], inVals)
+		return l.b[j] + vecmath.Dot(l.w[j][:len(inVals)], inVals)
 	}
 	return l.b[j] + vecmath.SparseDot(inIds, inVals, l.w[j])
 }

@@ -162,6 +162,10 @@ func (n *Network) readWeights(br *bufio.Reader) error {
 		if err := binary.Read(br, binary.LittleEndian, l.b[:l.out]); err != nil {
 			return err
 		}
+		// The column-major kernel mirror is derived from the rows just
+		// overwritten; re-derive it so the scatter forward form serves
+		// the restored weights.
+		l.refreshMirror()
 	}
 	return nil
 }

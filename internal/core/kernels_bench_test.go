@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/lsh"
+	"repro/internal/sampling"
+	"repro/internal/sparse"
+)
+
+// Hot-path benchmarks for the kernel engine: one element's forward and
+// backward pass at a serving-shaped operating point (sparse features into
+// a mirrored 128-wide hidden layer, ~2% active output layer), per kernel
+// mode. CI runs these at -benchtime=1x as a smoke check; the kernels
+// harness experiment measures the same comparison end to end.
+
+// benchKernelNet builds the paper-shaped network at a benchable scale.
+func benchKernelNet(b *testing.B, km KernelMode) (*Network, *elemState, []dataset.Example) {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.Profile{
+		Name:        "kernel-bench",
+		FeatureDim:  16384,
+		NumClasses:  8192,
+		TrainSize:   256,
+		TestSize:    16,
+		AvgFeatures: 64,
+		AvgLabels:   2,
+		ProtoNNZ:    24,
+		NoiseFrac:   0.1,
+		LabelSkew:   1.3,
+		Seed:        17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := NewNetwork(Config{
+		InputDim: ds.InputDim,
+		Seed:     23,
+		Kernels:  km,
+		Layers: []LayerConfig{
+			{Size: 128, Activation: ActReLU},
+			{
+				Size: ds.NumClasses, Activation: ActSoftmax,
+				Sampled: true, Hash: lsh.KindSimhash, K: 6, L: 20, RangePow: 8,
+				Strategy: sampling.KindVanilla, Beta: 164,
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := newElemState(n, 51, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n, st, ds.Train
+}
+
+func benchForwardElem(b *testing.B, km KernelMode, mode forwardMode) {
+	n, st, train := benchKernelNet(b, km)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := &train[i%len(train)]
+		n.forwardElem(st, ex.Features, ex.Labels, mode)
+	}
+}
+
+// Training-shaped forward (sampled output active set).
+func BenchmarkForwardTrainKernel(b *testing.B) { benchForwardElem(b, KernelAuto, modeTrain) }
+func BenchmarkForwardTrainLegacy(b *testing.B) { benchForwardElem(b, KernelLegacy, modeTrain) }
+
+// Exact-inference forward (full output layer).
+func BenchmarkForwardFullKernel(b *testing.B) { benchForwardElem(b, KernelAuto, modeEvalFull) }
+func BenchmarkForwardFullLegacy(b *testing.B) { benchForwardElem(b, KernelLegacy, modeEvalFull) }
+
+// BenchmarkForwardLayer0* isolate the mirrored input layer — the kernel
+// the gather→scatter rewrite targets: 64 sparse features into 128 dense
+// neurons, gather issuing 128 scattered sparse dots vs scatter streaming
+// 64 contiguous column slices.
+func benchForwardLayer0(b *testing.B, km KernelMode) {
+	n, st, train := benchKernelNet(b, km)
+	l := n.layers[0]
+	ls := &st.layers[0]
+	ls.reset(true, l.out)
+	ls.sizeVals(l.out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := train[i%len(train)].Features
+		n.computeActivations(st, l, ls, x.Idx, x.Val, false)
+	}
+}
+
+func BenchmarkForwardLayer0Scatter(b *testing.B) { benchForwardLayer0(b, KernelScatter) }
+func BenchmarkForwardLayer0Gather(b *testing.B)  { benchForwardLayer0(b, KernelGather) }
+func BenchmarkForwardLayer0Legacy(b *testing.B)  { benchForwardLayer0(b, KernelLegacy) }
+
+func benchBackwardElem(b *testing.B, km KernelMode) {
+	n, st, train := benchKernelNet(b, km)
+	n.beginBatch()
+	ex := &train[0]
+	n.forwardElem(st, ex.Features, ex.Labels, modeTrain)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.backwardElem(st, ex.Features, ex.Labels, nil)
+	}
+}
+
+func BenchmarkBackwardElemKernel(b *testing.B) { benchBackwardElem(b, KernelAuto) }
+func BenchmarkBackwardElemLegacy(b *testing.B) { benchBackwardElem(b, KernelLegacy) }
+
+// BenchmarkPredictKernelVsLegacy measures the end-to-end serving path
+// (pooled Predictor, exact top-k) under both engines at the bench shape.
+func benchPredictEngine(b *testing.B, km KernelMode) {
+	n, _, train := benchKernelNet(b, km)
+	pred, err := n.NewPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]sparse.Vector, len(train))
+	for i := range train {
+		xs[i] = train[i].Features
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pred.Predict(xs[i%len(xs)], 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictEngineKernel(b *testing.B) { benchPredictEngine(b, KernelAuto) }
+func BenchmarkPredictEngineLegacy(b *testing.B) { benchPredictEngine(b, KernelLegacy) }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/hashtable"
+	"repro/internal/kernels"
 	"repro/internal/lsh"
 	"repro/internal/rng"
 )
@@ -54,6 +55,15 @@ type Layer struct {
 	fam    lsh.Family
 	tables *hashtable.Handle
 	memo   *rehashMemo
+
+	// mirror is the column-major weight mirror the scatter-form forward
+	// kernel streams (nil when the layer never scatters: sampled layers,
+	// layers whose input is always dense, and KernelLegacy networks).
+	// Derived state: ApplyDelta/applyAdamFused dual-write stepped cells
+	// and bulk weight restores call refreshMirror. The same one-resident-
+	// copy trade snapBuf and the rehashMemo make, spent on forward speed
+	// instead of rebuild speed.
+	mirror *kernels.Mirror
 
 	// snapBuf is the reusable weight-snapshot buffer for detached
 	// rebuilds. At most one rebuild is in flight per network (the train
@@ -136,6 +146,33 @@ func newLayer(idx, in int, cfg LayerConfig, netCfg Config, ar *arena.Arena, seed
 		l.tables = hashtable.NewHandle(tables)
 	}
 	return l, nil
+}
+
+// mirrorMaxOut caps the width of layers that maintain a column-major
+// weight mirror. The mirror doubles the layer's weight memory, which is
+// cheap for the paper architecture's narrow hidden layers (128 neurons)
+// and prohibitive for the wide sampled output layer — whose ~0.5% active
+// fraction makes the gather form right anyway.
+const mirrorMaxOut = 4096
+
+// initMirror builds the layer's column-major mirror when the scatter form
+// can ever be selected for it: the layer computes its full output every
+// pass (not sampled), is narrow enough for the doubled weight memory, and
+// sparseIn reports that its input can arrive sparse (the first layer's
+// example features, or a preceding sampled layer's active set).
+func (l *Layer) initMirror(sparseIn bool) {
+	if l.Sampled() || !sparseIn || l.out > mirrorMaxOut {
+		return
+	}
+	l.mirror = kernels.NewMirror(l.in, l.out)
+	l.mirror.Rebuild(l.w)
+}
+
+// refreshMirror re-derives the mirror after a bulk weight restore.
+func (l *Layer) refreshMirror() {
+	if l.mirror != nil {
+		l.mirror.Rebuild(l.w)
+	}
 }
 
 // In returns the layer fan-in.

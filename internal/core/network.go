@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/hashtable"
+	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/optim"
 	"repro/internal/sparse"
@@ -29,6 +30,10 @@ type Network struct {
 	layers []*Layer
 	ar     *arena.Arena
 	adam   optim.Adam
+	// kern is the resolved kernel-planning policy (Config.Kernels): every
+	// forward pass asks it for a gather/scatter/legacy form, every
+	// backward pass for fused vs reference row loops.
+	kern kernels.Config
 
 	step     int64 // completed training iterations (batches)
 	rebuilds int   // completed table rebuilds
@@ -89,7 +94,7 @@ func newNetwork(cfg Config, buildTables bool) (*Network, error) {
 			return nil, fmt.Errorf("core: softmax activation only supported on the output layer (layer %d)", i)
 		}
 	}
-	n := &Network{cfg: cfg, ar: arena.NewDefault(), adam: cfg.Adam}
+	n := &Network{cfg: cfg, ar: arena.NewDefault(), adam: cfg.Adam, kern: cfg.Kernels.kernelConfig()}
 	in := cfg.InputDim
 	for i, lc := range cfg.Layers {
 		l, err := newLayer(i, in, lc, cfg, n.ar, cfg.Seed)
@@ -98,6 +103,17 @@ func newNetwork(cfg Config, buildTables bool) (*Network, error) {
 		}
 		n.layers = append(n.layers, l)
 		in = lc.Size
+	}
+	if cfg.Kernels != KernelLegacy {
+		// A layer's input arrives sparse when it is first (the example's
+		// feature vector) or follows a sampled layer (an active-id set);
+		// only those layers can ever run the scatter form, so only they
+		// pay for a mirror.
+		sparseIn := true
+		for _, l := range n.layers {
+			l.initMirror(sparseIn)
+			sparseIn = l.Sampled()
+		}
 	}
 	if buildTables {
 		n.RebuildTables(0)

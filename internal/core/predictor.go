@@ -26,11 +26,18 @@ const predictSeed = 0x9ed1c7
 // Predict/PredictBatch calls are race-free. Predicting concurrently with
 // Train shares the weights with HOGWILD updates and inherits the paper's
 // weak-consistency argument: reads may observe partially applied updates
-// but never corrupt state. Hash tables are read through each layer's
+// but never corrupt state; the column-major kernel mirrors the scatter
+// forward form streams are dual-written by the same Adam step and carry
+// the identical argument. Hash tables are read through each layer's
 // atomically swapped handle, so inference stays valid in the middle of a
 // background table rebuild: a query runs coherently on whichever table
 // generation it loaded, and the swap to the next generation is invisible
 // to in-flight passes.
+//
+// Every pass plans its kernels through the network's density-adaptive
+// engine (internal/kernels): exact and sampled inference share the
+// training hot path's gather/scatter forms, so serving inherits each
+// layout win without predictor-specific code.
 type Predictor struct {
 	n    *Network
 	pool sync.Pool // stores *elemState; empty Get returns nil

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/kernels"
 	"repro/internal/rng"
 	"repro/internal/sampling"
 )
@@ -38,6 +39,19 @@ func (ls *layerState) reset(full bool, n int) {
 	ls.delta = ls.delta[:0]
 }
 
+// sizeVals sets the activation buffer to n entries, growing the backing
+// arrays when the active set outgrew the reset hint — the
+// empty-retrieval fallback can draw Beta ids after reset reserved only
+// the (empty) retrieval's worth. delta grows in step so the backward
+// pass can always mirror vals' length.
+func (ls *layerState) sizeVals(n int) {
+	if cap(ls.vals) < n {
+		ls.vals = make([]float32, n)
+		ls.delta = make([]float32, 0, n)
+	}
+	ls.vals = ls.vals[:n]
+}
+
 // elemState is the per-worker compute state reused across batch elements.
 // Nothing in it is shared between workers; the only cross-worker writes
 // during training are the weight updates themselves (§3.1's HOGWILD
@@ -58,9 +72,11 @@ type elemState struct {
 	mark      [][]uint32
 	markEpoch uint32
 
-	// acc accumulates the previous layer's activation gradients during
-	// backprop; sized to the largest fan-in.
-	acc []float32
+	// work is the worker's kernel workspace: the backward
+	// activation-gradient accumulator (sized once to the largest fan-in,
+	// so steady-state passes allocate nothing) and the per-form forward
+	// kernel counters the training result aggregates.
+	work kernels.Workspace
 
 	// rng drives the element's fallback sampling decisions.
 	rng *rng.RNG
@@ -122,7 +138,7 @@ func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
 		}
 		st.strategies[li] = strat
 	}
-	st.acc = make([]float32, maxIn)
+	st.work.EnsureAcc(maxIn)
 	return st, nil
 }
 

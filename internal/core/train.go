@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/optim"
 	"repro/internal/rng"
@@ -54,6 +55,11 @@ type TrainResult struct {
 	// DeltaExchanger.Exchange — serialization, transport and the peer
 	// barrier — included in Seconds. Zero for single-process runs.
 	ExchangeNS int64
+	// KernelForwards counts forward kernel executions by chosen form
+	// ("gather", "scatter", "legacy") across the run — the
+	// density-adaptive engine's decision record, one count per (layer,
+	// element) pass.
+	KernelForwards map[string]int64
 }
 
 // Train runs minibatch training (Algorithm 1). Batch elements are
@@ -273,7 +279,23 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	}
 	res.MeanActive = meanActive(states, len(n.layers))
 	res.Utilization = utilization(states, trainNS, workers)
+	res.KernelForwards = drainKernelForms(states)
 	return res, ctxErr
+}
+
+// drainKernelForms aggregates and resets the workers' per-form forward
+// kernel counters.
+func drainKernelForms(states []*elemState) map[string]int64 {
+	out := make(map[string]int64)
+	for _, st := range states {
+		for f := range st.work.Forms {
+			if c := st.work.Forms[f]; c != 0 {
+				out[kernels.Form(f).String()] += c
+				st.work.Forms[f] = 0
+			}
+		}
+	}
+	return out
 }
 
 // exchangeAndApply is one sharded batch's update phase: extract the local

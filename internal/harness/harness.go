@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -108,6 +109,16 @@ func (r *Report) WriteText(w io.Writer) {
 		writeAligned(w, header, rows)
 	}
 	fmt.Fprintln(w)
+}
+
+// WriteJSON writes the whole report as one indented JSON document — the
+// machine-readable emitter behind slide-bench -json, used to record
+// benchmark trajectories (e.g. BENCH_kernels.json) that successive PRs
+// can diff.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // WriteCSV writes each table and series as a CSV file under dir.

@@ -73,6 +73,37 @@ func BenchmarkSparseDot64of4096(b *testing.B) {
 	}
 }
 
+// Fused-kernel shapes: one active output neuron's forward step over the
+// 128-wide hidden input (gather form), and one backward row update.
+
+func BenchmarkDotBiasReLU128(b *testing.B) {
+	x, y := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += DotBiasReLU(0.1, x, y)
+	}
+}
+
+func BenchmarkOuterAccScalar128(b *testing.B) {
+	x, w := benchVecs(128)
+	g, acc := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outerAccScalar(0.5, x, w, g, acc)
+	}
+	benchSink += g[0] + acc[0]
+}
+
+func BenchmarkOuterAccUnrolled128(b *testing.B) {
+	x, w := benchVecs(128)
+	g, acc := benchVecs(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outerAccUnrolled(0.5, x, w, g, acc)
+	}
+	benchSink += g[0] + acc[0]
+}
+
 func BenchmarkSoftmax1024(b *testing.B) {
 	x, _ := benchVecs(1024)
 	buf := make([]float32, len(x))

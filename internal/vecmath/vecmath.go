@@ -96,6 +96,90 @@ func sparseDotUnrolled(idx []int32, val []float32, w []float32) float32 {
 	return s
 }
 
+// DotBiasReLU returns max(0, b + dot(w, x)) — one layer neuron's fused
+// forward step (pre-activation plus bias plus ReLU) in a single pass over
+// the weight row. The slices must have equal length. The gather-form
+// kernel engine calls it once per active neuron on dense inputs.
+func DotBiasReLU(b float32, w, x []float32) float32 {
+	s := b + Dot(w, x)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// SparseDotBiasReLU is DotBiasReLU over a sparse input vector (idx, val
+// pairs): max(0, b + sum_j val[j]*w[idx[j]]).
+func SparseDotBiasReLU(b float32, idx []int32, val, w []float32) float32 {
+	s := b + SparseDot(idx, val, w)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// OuterAcc fuses the two per-row backward updates into one pass over the
+// dense input: g += d*x (the delta×input outer-product row, accumulating
+// weight gradient) and acc += d*w (the activation-gradient gather toward
+// the previous layer). Reading w before any write preserves classical
+// backprop semantics within the element; every cell receives exactly one
+// add, so the result is bit-identical to the separate scalar loops. All
+// slices must have equal length.
+func OuterAcc(d float32, x, w, g, acc []float32) {
+	if len(x) != len(w) || len(x) != len(g) || len(x) != len(acc) {
+		panic("vecmath: OuterAcc length mismatch")
+	}
+	if Unrolled {
+		outerAccUnrolled(d, x, w, g, acc)
+		return
+	}
+	outerAccScalar(d, x, w, g, acc)
+}
+
+func outerAccScalar(d float32, x, w, g, acc []float32) {
+	for i := range x {
+		acc[i] += d * w[i]
+		g[i] += d * x[i]
+	}
+}
+
+func outerAccUnrolled(d float32, x, w, g, acc []float32) {
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		xx := x[i : i+4 : i+4]
+		ww := w[i : i+4 : i+4]
+		gg := g[i : i+4 : i+4]
+		aa := acc[i : i+4 : i+4]
+		aa[0] += d * ww[0]
+		aa[1] += d * ww[1]
+		aa[2] += d * ww[2]
+		aa[3] += d * ww[3]
+		gg[0] += d * xx[0]
+		gg[1] += d * xx[1]
+		gg[2] += d * xx[2]
+		gg[3] += d * xx[3]
+	}
+	for i := n; i < len(x); i++ {
+		acc[i] += d * w[i]
+		g[i] += d * x[i]
+	}
+}
+
+// SparseOuterAcc is OuterAcc over a sparse input: for each nonzero t,
+// g[idx[t]] += d*val[t] (outer-product accumulate into the touched
+// columns) and acc[t] += d*w[idx[t]] (activation-gradient gather aligned
+// with the sparse input positions). idx, val and acc must have equal
+// length.
+func SparseOuterAcc(d float32, idx []int32, val, w, g, acc []float32) {
+	if len(idx) != len(val) || len(idx) != len(acc) {
+		panic("vecmath: SparseOuterAcc length mismatch")
+	}
+	for t, i := range idx {
+		acc[t] += d * w[i]
+		g[i] += d * val[t]
+	}
+}
+
 // Axpy computes y += alpha*x element-wise. The slices must have equal
 // length.
 func Axpy(alpha float32, x, y []float32) {

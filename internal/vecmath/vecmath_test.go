@@ -107,6 +107,110 @@ func TestSparseAxpy(t *testing.T) {
 	}
 }
 
+// TestDotBiasReLUMatchesUnfused: the fused forward kernel must equal the
+// composition of its parts (dot, bias add, ReLU clamp) for both the dense
+// and the sparse input form.
+func TestDotBiasReLUMatchesUnfused(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8, b float32) bool {
+		n := int(nRaw) % 200
+		if math.IsNaN(float64(b)) || math.IsInf(float64(b), 0) {
+			b = 0.25
+		}
+		b = float32(math.Mod(float64(b), 4))
+		r := rng.New(seed)
+		w, x := randVec(r, n), randVec(r, n)
+		want := b + Dot(w, x)
+		if want < 0 {
+			want = 0
+		}
+		return DotBiasReLU(b, w, x) == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseDotBiasReLUMatchesUnfused(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		w := randVec(r, 256)
+		nnz := int(nRaw) % 64
+		idx := make([]int32, nnz)
+		val := make([]float32, nnz)
+		for i := range idx {
+			idx[i] = int32(r.Intn(256))
+			val[i] = r.NormFloat32()
+		}
+		b := r.NormFloat32()
+		want := b + SparseDot(idx, val, w)
+		if want < 0 {
+			want = 0
+		}
+		return SparseDotBiasReLU(b, idx, val, w) == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOuterAccMatchesScalarLoops: the fused backward kernel must be
+// bit-identical to the separate acc/gradient loops it replaces — every
+// cell receives exactly one add in both formulations — and the unrolled
+// variant must match the scalar one exactly.
+func TestOuterAccMatchesScalarLoops(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8, d float32) bool {
+		n := int(nRaw) % 100
+		if math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
+			d = 0.5
+		}
+		d = float32(math.Mod(float64(d), 8))
+		r := rng.New(seed)
+		x, w := randVec(r, n), randVec(r, n)
+		g1, acc1 := randVec(r, n), randVec(r, n)
+		g2 := append([]float32(nil), g1...)
+		acc2 := append([]float32(nil), acc1...)
+		g3 := append([]float32(nil), g1...)
+		acc3 := append([]float32(nil), acc1...)
+		for i := range x { // the pre-fusion reference loops
+			acc1[i] += d * w[i]
+			g1[i] += d * x[i]
+		}
+		outerAccScalar(d, x, w, g2, acc2)
+		outerAccUnrolled(d, x, w, g3, acc3)
+		for i := range x {
+			if g1[i] != g2[i] || acc1[i] != acc2[i] || g1[i] != g3[i] || acc1[i] != acc3[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseOuterAcc checks the sparse fused kernel against its reference
+// loop, including a repeated index (the gradient column must accumulate
+// both contributions and the acc gather must see the weight value both
+// times).
+func TestSparseOuterAcc(t *testing.T) {
+	w := []float32{1, 2, 3, 4}
+	idx := []int32{1, 3, 1}
+	val := []float32{1, 2, 3}
+	g := make([]float32, 4)
+	acc := make([]float32, 3)
+	SparseOuterAcc(2, idx, val, w, g, acc)
+	wantG := []float32{0, 8, 0, 4}
+	wantAcc := []float32{4, 8, 4}
+	for i := range wantG {
+		if g[i] != wantG[i] {
+			t.Fatalf("g = %v, want %v", g, wantG)
+		}
+	}
+	for i := range wantAcc {
+		if acc[i] != wantAcc[i] {
+			t.Fatalf("acc = %v, want %v", acc, wantAcc)
+		}
+	}
+}
+
 func TestSoftmaxProperties(t *testing.T) {
 	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw)%50 + 1
