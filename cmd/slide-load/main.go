@@ -1,0 +1,254 @@
+// Command slide-load is an open-loop load generator for slide-serve: the
+// client half of the serving stack's tail-latency engineering.
+//
+// It drives Poisson arrivals at one or more offered rates against a
+// running server, with a configurable mix of exact, sampled,
+// seeded-sampled and bulk-batch requests whose inputs are drawn from a
+// dataset sample with Zipf-skewed popularity, and reports per-rate
+// client-observed latency percentiles (p50/p90/p99/p999), shed /
+// deadline-exceeded / error / drop counts, cache hits and goodput —
+// the goodput-vs-offered-load curve that shows where the server
+// saturates and whether admission control holds the tail there.
+//
+// Usage:
+//
+//	slide-serve -model model.slide -addr :8080 -latency-budget 25ms -cache-size 4096
+//	slide-load -url http://localhost:8080 -qps 500 -duration 10s
+//	slide-load -url http://localhost:8080 -sweep 250,500,1000,2000 \
+//	  -mix exact=0.4,sampled=0.2,seeded=0.3,batch=0.1 -zipf 1.1 \
+//	  -deadline 50 -json sweep.json
+//
+// The key set is generated from the same synthetic dataset profiles
+// slide-train uses (-profile/-scale/-keys), so inputs have realistic
+// sparsity; the server's input dimension is checked via /healthz before
+// any load is offered.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	slide "repro"
+	"repro/dataset"
+	"repro/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slide-load: ")
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "base URL of the slide-serve instance under test")
+		qps       = flag.Float64("qps", 500, "offered request rate (ignored when -sweep is set)")
+		sweep     = flag.String("sweep", "", "comma-separated list of offered rates to run in sequence, e.g. 250,500,1000,2000")
+		duration  = flag.Duration("duration", 10*time.Second, "duration of each run's arrival schedule")
+		mixSpec   = flag.String("mix", "exact=0.5,sampled=0.2,seeded=0.2,batch=0.1", "traffic mix as weight assignments")
+		zipfS     = flag.Float64("zipf", 1.1, "Zipf skew exponent for key popularity (0 = uniform)")
+		numKeys   = flag.Int("keys", 256, "number of distinct input vectors drawn from the dataset sample")
+		profile   = flag.String("profile", "delicious", "dataset profile for key generation: delicious or amazon")
+		scale     = flag.Float64("scale", 0.004, "dataset profile scale in (0, 1] for key generation")
+		seed      = flag.Uint64("seed", 1, "seed for the arrival schedule, mode choices and key draws")
+		k         = flag.Int("k", 5, "top-k each request asks for")
+		batchSize = flag.Int("batch-size", 8, "vectors per /predict/batch request")
+		deadline  = flag.Float64("deadline", 0, "per-request deadline_ms attached to every request (0 = none)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "client HTTP timeout per request")
+		inflight  = flag.Int("inflight", 512, "client cap on concurrent outstanding requests")
+		jsonOut   = flag.String("json", "", "write the sweep results as JSON to this file")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := parseSweep(*sweep, *qps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keys, dim, err := makeKeys(*profile, *scale, *numKeys, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := checkServer(*url, dim); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d keys from %s@%g (input dim %d), mix %s, zipf %.2f",
+		len(keys), *profile, *scale, dim, *mixSpec, *zipfS)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	type row struct {
+		Result loadgen.Result      `json:"result"`
+		Server loadgen.ServerStats `json:"server_stats"`
+	}
+	var rows []row
+	fmt.Printf("%10s %10s %10s %8s %8s %8s %8s %9s %9s %9s\n",
+		"offered", "goodput", "ok", "shed", "dl", "err", "hits", "p50ms", "p99ms", "p999ms")
+	for _, rate := range rates {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:     *url,
+			QPS:         rate,
+			Duration:    *duration,
+			Mix:         mix,
+			Keys:        keys,
+			ZipfS:       *zipfS,
+			K:           *k,
+			BatchSize:   *batchSize,
+			DeadlineMs:  *deadline,
+			Timeout:     *timeout,
+			Seed:        *seed,
+			MaxInFlight: *inflight,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := loadgen.FetchStats(*url)
+		if err != nil {
+			log.Printf("warning: %v", err)
+		}
+		fmt.Printf("%10.0f %10.1f %10d %8d %8d %8d %8d %9.2f %9.2f %9.2f\n",
+			res.OfferedQPS, res.GoodputQPS, res.OK, res.Shed, res.DeadlineExceeded,
+			res.Errors, res.CacheHits, res.P50Millis, res.P99Millis, res.P999Millis)
+		rows = append(rows, row{Result: res, Server: st})
+		if ctx.Err() != nil {
+			log.Print("interrupted; stopping sweep")
+			break
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+// parseMix reads "exact=0.5,sampled=0.2,..." into a Mix.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix component %q (want name=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch strings.TrimSpace(name) {
+		case "exact":
+			m.Exact = w
+		case "sampled":
+			m.Sampled = w
+		case "seeded":
+			m.Seeded = w
+		case "batch":
+			m.Batch = w
+		default:
+			return m, fmt.Errorf("unknown mix component %q", name)
+		}
+	}
+	if m.Exact+m.Sampled+m.Seeded+m.Batch == 0 {
+		return m, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return m, nil
+}
+
+// parseSweep resolves the list of offered rates: -sweep when set, the
+// single -qps otherwise.
+func parseSweep(spec string, single float64) ([]float64, error) {
+	if spec == "" {
+		return []float64{single}, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(spec, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad sweep rate %q", part)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+// makeKeys draws the key pool from a synthetic dataset profile's test
+// split — realistic sparsity without needing a file on disk.
+func makeKeys(profile string, scale float64, n int, seed uint64) ([]slide.Vector, int, error) {
+	var p dataset.Profile
+	switch profile {
+	case "delicious":
+		p = dataset.Delicious200K(scale, seed)
+	case "amazon":
+		p = dataset.Amazon670K(scale, seed)
+	default:
+		return nil, 0, fmt.Errorf("unknown profile %q (want delicious or amazon)", profile)
+	}
+	ds, err := dataset.Generate(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("generating key dataset: %w", err)
+	}
+	pool := ds.Test
+	if len(pool) == 0 {
+		pool = ds.Train
+	}
+	if len(pool) == 0 {
+		return nil, 0, fmt.Errorf("profile %s@%g produced no examples", profile, scale)
+	}
+	if n > len(pool) {
+		n = len(pool)
+	}
+	keys := make([]slide.Vector, n)
+	for i := range keys {
+		keys[i] = pool[i].Features
+	}
+	return keys, keys[0].Dim, nil
+}
+
+// checkServer verifies the target is alive and its model's input
+// dimension matches the generated keys before offering any load.
+func checkServer(url string, dim int) error {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status   string `json:"status"`
+		InputDim int    `json:"input_dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return fmt.Errorf("decoding /healthz: %w", err)
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("server unhealthy: %q", health.Status)
+	}
+	if health.InputDim != dim {
+		return fmt.Errorf("server input dim %d != key dim %d (use matching -profile/-scale)",
+			health.InputDim, dim)
+	}
+	return nil
+}

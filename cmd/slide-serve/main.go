@@ -5,12 +5,18 @@
 // It loads a self-describing model written by slide-train -save, builds
 // one shared concurrency-safe Predictor, and micro-batches concurrent
 // requests into Predictor.PredictBatch calls so bursts ride the
-// multi-core fan-out instead of queuing on single-example passes.
+// multi-core fan-out instead of queuing on single-example passes. For
+// tail-latency engineering it adds a latency budget with admission
+// control (shed with 429 + Retry-After instead of queuing work doomed to
+// miss the budget), per-request deadlines (body deadline_ms or the
+// X-Slide-Deadline-Ms header; expired work is cancelled with 504 instead
+// of computed), and a response cache for deterministic requests keyed by
+// engine generation (invalidated wholesale by /reload and SIGHUP).
 //
 // Usage:
 //
 //	slide-train -profile delicious -scale 0.01 -epochs 4 -save model.slide
-//	slide-serve -model model.slide -addr :8080
+//	slide-serve -model model.slide -addr :8080 -latency-budget 25ms -cache-size 4096
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/predict \
@@ -19,7 +25,8 @@
 //
 // Endpoints:
 //
-//	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":true}
+//	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":true,
+//	                      "seed":1,"deadline_ms":25}
 //	                     -> {"ids":[...],"scores":[...],"mode":"sampled","ms":...}
 //	POST /predict/batch  {"batch":[{"indices":[...],"values":[...]},...],"k":5,"sampled":true}
 //	                     -> {"results":[{"ids":[...],"scores":[...]},...],"count":N,"ms":...}
@@ -27,20 +34,30 @@
 //	                     skipping the micro-batch gathering window
 //	POST /reload         {"model":"other.slide"} (empty body reloads -model)
 //	                     atomically swaps in a freshly loaded Network+Predictor
-//	                     pair; in-flight requests finish on the old pair.
-//	                     SIGHUP triggers the same swap from -model.
-//	GET  /healthz        model shape, source path, reload count, status
-//	GET  /stats          request counts, micro-batch sizes, latency percentiles
+//	                     pair and flushes the response cache; in-flight
+//	                     requests finish on the old pair. SIGHUP does the same.
+//	GET  /healthz        model shape, source path, generation, reload count
+//	GET  /stats          request counts, micro-batch sizes, p50/p90/p99/p999,
+//	                     shed / deadline-exceeded / cache counters
+//
+// The process shuts down gracefully: SIGINT/SIGTERM stops accepting new
+// connections, drains in-flight requests (bounded by -drain), then stops
+// the micro-batcher.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro"
+	slide "repro"
+	"repro/serve"
 )
 
 func main() {
@@ -54,6 +71,9 @@ func main() {
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "maximum micro-batch gathering window (0 disables batching)")
 		batchMax    = flag.Int("batch-max", 64, "maximum requests per micro-batch")
 		adaptive    = flag.Bool("adaptive-window", true, "derive each gather window from the observed arrival rate (one EWMA per inference mode), clamped to [0, -batch-window]")
+		budget      = flag.Duration("latency-budget", 0, "admission-control latency budget: shed requests whose expected wait exceeds it with 429 + Retry-After (0 disables shedding)")
+		cacheSize   = flag.Int("cache-size", 0, "response-cache capacity in entries for deterministic (exact and seeded-sampled) requests (0 disables the cache)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -72,28 +92,74 @@ func main() {
 	log.Printf("loaded model %s: input dim %d, %d layers, %d classes, %d parameters",
 		*modelPath, net.Config().InputDim, net.NumLayers(), net.OutputDim(), net.NumParams())
 
-	srv, err := newServer(net, serverOptions{
+	srv, err := serve.New(net, serve.Options{
 		DefaultK:       *defaultK,
 		MaxK:           *maxK,
 		BatchWindow:    *batchWindow,
 		AdaptiveWindow: *adaptive,
 		BatchMax:       *batchMax,
 		ModelPath:      *modelPath,
+		LatencyBudget:  *budget,
+		CacheSize:      *cacheSize,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-	stopHUP := srv.watchSIGHUP(log.Printf)
+	stopHUP := srv.WatchSIGHUP(log.Printf)
 	defer stopHUP()
+
+	// A configured http.Server instead of the bare ListenAndServe
+	// default: header/body read timeouts bound slowloris-style clients,
+	// the idle timeout reaps dead keep-alive connections, and Shutdown
+	// gives in-flight requests a bounded drain on SIGINT/SIGTERM.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          log.Default(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	window := "adaptive per mode ≤ " + batchWindow.String()
 	if !*adaptive {
 		window = batchWindow.String()
 	}
-	log.Printf("serving on %s (micro-batch window %s, max %d; SIGHUP reloads %s)",
-		*addr, window, *batchMax, *modelPath)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
-		log.Fatal(err)
+	extras := ""
+	if *budget > 0 {
+		extras += ", latency budget " + budget.String()
 	}
+	if *cacheSize > 0 {
+		log.Printf("response cache: %d entries", *cacheSize)
+	}
+	log.Printf("serving on %s (micro-batch window %s, max %d%s; SIGHUP reloads %s)",
+		*addr, window, *batchMax, extras, *modelPath)
+
+	select {
+	case err := <-errCh:
+		// The listener failed outright (bad -addr, port in use).
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("shutting down: draining in-flight requests (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listener: %v", err)
+	}
+	// The HTTP side is quiet now; stop the micro-batcher (it drains its
+	// own queue before exiting).
+	srv.Close()
+	log.Printf("bye")
 }

@@ -147,6 +147,20 @@ func (p *Predictor) TopKWithScores(x sparse.Vector, k int, sampled bool, opts ..
 	return ids, scores, nil
 }
 
+// TopKWithScoresCtx is TopKWithScores for deadline-bounded serving: work
+// that is already doomed (ctx cancelled or past its deadline) is refused
+// before a worker state is checked out and the forward pass runs, so a
+// server propagating per-request deadlines never spends a full pass on a
+// request whose client has given up. A context that expires mid-pass does
+// not abort the pass — a single example is the unit of cancellation, as
+// in PredictBatch.
+func (p *Predictor) TopKWithScoresCtx(ctx context.Context, x sparse.Vector, k int, sampled bool, opts ...PredictOpts) ([]int32, []float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return p.TopKWithScores(x, k, sampled, opts...)
+}
+
 // PredictBatch predicts exact top-k ids and scores for every input,
 // fanning the batch out across GOMAXPROCS pooled workers. Cancellation is
 // checked between elements: on ctx cancellation the partial work is

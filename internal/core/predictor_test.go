@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sparse"
 )
@@ -173,6 +174,38 @@ func TestPredictBatchHonorsCancellation(t *testing.T) {
 	cancel()
 	if _, _, err := p.PredictBatch(ctx, xs, 3); err != context.Canceled {
 		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+}
+
+// TestTopKWithScoresCtx: the context-gated single prediction refuses
+// doomed work (spent deadline, cancelled caller) without touching a
+// pooled state, and with a live context matches TopKWithScores exactly.
+func TestTopKWithScoresCtx(t *testing.T) {
+	n, xs, _ := trainedNet(t, 128)
+	p, err := n.NewPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.TopKWithScoresCtx(cancelled, xs[0], 3, false); err != context.Canceled {
+		t.Fatalf("cancelled predict returned %v, want context.Canceled", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel2()
+	if _, _, err := p.TopKWithScoresCtx(expired, xs[0], 3, true); err != context.DeadlineExceeded {
+		t.Fatalf("expired predict returned %v, want context.DeadlineExceeded", err)
+	}
+	wantIDs, wantScores, err := p.TopKWithScores(xs[1], 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, gotScores, err := p.TopKWithScoresCtx(context.Background(), xs[1], 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(wantIDs, gotIDs) || !eqScores(wantScores, gotScores) {
+		t.Fatalf("ctx path %v/%v diverged from plain path %v/%v", gotIDs, gotScores, wantIDs, wantScores)
 	}
 }
 

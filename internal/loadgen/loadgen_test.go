@@ -1,0 +1,295 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lsh"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// TestPoissonGaps checks the exponential inter-arrival draw against its
+// two defining moments at a fixed seed: mean 1/qps and coefficient of
+// variation 1 (the memoryless signature a constant-gap generator fails).
+func TestPoissonGaps(t *testing.T) {
+	const (
+		qps = 1000.0
+		n   = 200_000
+	)
+	r := rng.New(7)
+	gaps := make([]float64, n)
+	sum := 0.0
+	for i := range gaps {
+		gaps[i] = expGap(r.Float64(), qps)
+		if gaps[i] < 0 {
+			t.Fatalf("negative gap %v", gaps[i])
+		}
+		sum += gaps[i]
+	}
+	mean := sum / n
+	if math.Abs(mean-1/qps) > 0.05/qps {
+		t.Fatalf("mean gap = %vs, want ≈ %vs", mean, 1/qps)
+	}
+	varsum := 0.0
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varsum/n) / mean
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("coefficient of variation = %v, want ≈ 1 (exponential)", cv)
+	}
+
+	// Same seed, same gaps: the schedule is a pure function of the seed.
+	r2 := rng.New(7)
+	for i := 0; i < 100; i++ {
+		if g := expGap(r2.Float64(), qps); g != gaps[i] {
+			t.Fatalf("gap %d not reproducible: %v vs %v", i, g, gaps[i])
+		}
+	}
+}
+
+// TestZipfSkew draws a large sample and checks the popularity contract:
+// counts decrease with rank, the head dominates under s>1, and s=0
+// degenerates to uniform.
+func TestZipfSkew(t *testing.T) {
+	const (
+		n       = 100
+		samples = 200_000
+	)
+	z := newZipf(n, 1.2)
+	r := rng.New(3)
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		k := z.sample(r.Float64())
+		if k < 0 || k >= n {
+			t.Fatalf("rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Monotone in coarse buckets (individual adjacent ranks can swap by
+	// sampling noise; decades cannot).
+	bucket := func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		return s
+	}
+	if !(bucket(0, 10) > bucket(10, 30) && bucket(10, 30) > bucket(30, 100)) {
+		t.Fatalf("rank buckets not decreasing: %d / %d / %d",
+			bucket(0, 10), bucket(10, 30), bucket(30, 100))
+	}
+	// s=1.2 over 100 ranks: rank 0 alone carries >20% of the mass.
+	if frac := float64(counts[0]) / samples; frac < 0.20 {
+		t.Fatalf("head rank carries %.3f of the mass, want > 0.20", frac)
+	}
+
+	// s=0: uniform within noise.
+	u := newZipf(n, 0)
+	r = rng.New(5)
+	counts = make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[u.sample(r.Float64())]++
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts {
+		minC, maxC = min(minC, c), max(maxC, c)
+	}
+	if float64(maxC)/float64(minC) > 1.2 {
+		t.Fatalf("s=0 draw not uniform: min %d max %d", minC, maxC)
+	}
+}
+
+func testKeys(t *testing.T, n, dim int) []sparse.Vector {
+	t.Helper()
+	r := rng.New(99)
+	keys := make([]sparse.Vector, n)
+	for i := range keys {
+		idx := []int32{int32(r.Intn(dim)), int32(r.Intn(dim)), int32(r.Intn(dim))}
+		// sparse.New sorts and dedups; collisions just shorten the vector.
+		x, err := sparse.New(dim, idx, []float32{1, 0.5, 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = x
+	}
+	return keys
+}
+
+// TestScheduleDeterministic: the full schedule — arrival offsets, modes,
+// keys, batch compositions and rendered bodies — is a pure function of
+// the config.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		BaseURL:  "http://unused",
+		QPS:      500,
+		Duration: 200 * time.Millisecond,
+		Mix:      Mix{Exact: 0.4, Sampled: 0.2, Seeded: 0.3, Batch: 0.1},
+		Keys:     testKeys(t, 32, 64),
+		ZipfS:    1.1,
+		Seed:     42,
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := schedule(cfg), schedule(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedule not deterministic for a fixed seed")
+	}
+	// ~500 qps over 200ms ≈ 100 arrivals; Poisson noise stays well inside
+	// a factor of two.
+	if len(a) < 50 || len(a) > 200 {
+		t.Fatalf("schedule has %d arrivals, want ≈ 100", len(a))
+	}
+	// All four kinds occur, keys stay in range, batch events carry
+	// BatchSize keys.
+	seen := map[reqKind]bool{}
+	for _, ev := range a {
+		seen[ev.kind] = true
+		if ev.kind == kindBatch {
+			if len(ev.batchKeys) != cfg.BatchSize {
+				t.Fatalf("batch event carries %d keys, want %d", len(ev.batchKeys), cfg.BatchSize)
+			}
+			continue
+		}
+		if ev.key < 0 || ev.key >= len(cfg.Keys) {
+			t.Fatalf("key %d out of range", ev.key)
+		}
+	}
+	for _, k := range []reqKind{kindExact, kindSampled, kindSeeded, kindBatch} {
+		if !seen[k] {
+			t.Fatalf("kind %d never scheduled in %d arrivals", k, len(a))
+		}
+	}
+	// A different seed produces a different schedule.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	if reflect.DeepEqual(a, schedule(cfg2)) {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+
+	// Rendered bodies: identical events render identical bytes (the
+	// property the server's response cache keys on), and each kind
+	// renders its distinguishing fields.
+	vecs := make([]string, len(cfg.Keys))
+	for i, x := range cfg.Keys {
+		vecs[i] = vecJSON(x)
+	}
+	for _, ev := range a[:min(20, len(a))] {
+		p1, b1 := cfg.body(vecs, ev)
+		p2, b2 := cfg.body(vecs, ev)
+		if p1 != p2 || b1 != b2 {
+			t.Fatalf("body rendering not deterministic: %s vs %s", b1, b2)
+		}
+	}
+}
+
+// TestRunSmoke is the end-to-end proof: an open-loop run against a real
+// in-process slide-serve (cache enabled, micro-batching on) completes
+// with positive goodput, zero hard errors, and — thanks to Zipf-skewed
+// exact and seeded traffic — actual response-cache hits, visible both
+// from the client (X-Cache) and the server (/stats).
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e smoke drives real HTTP traffic")
+	}
+	net, err := core.NewNetwork(core.Config{
+		InputDim: 64,
+		Seed:     11,
+		Layers: []core.LayerConfig{
+			{Size: 32, Activation: core.ActReLU},
+			{
+				Size: 256, Activation: core.ActSoftmax,
+				Sampled: true, Hash: lsh.KindSimhash, K: 4, L: 8,
+				Strategy: sampling.KindVanilla, Beta: 48,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(net, serve.Options{
+		BatchWindow: time.Millisecond,
+		CacheSize:   1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		QPS:      400,
+		Duration: 500 * time.Millisecond,
+		Mix:      Mix{Exact: 0.5, Sampled: 0.1, Seeded: 0.3, Batch: 0.1},
+		Keys:     testKeys(t, 16, 64),
+		ZipfS:    1.2,
+		K:        3,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.OK == 0 {
+		t.Fatalf("no traffic served: %+v", res)
+	}
+	if res.GoodputQPS <= 0 {
+		t.Fatalf("goodput = %v, want > 0", res.GoodputQPS)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d hard errors against a healthy server: %+v", res.Errors, res)
+	}
+	// 16 keys × skewed popularity × cacheable exact+seeded majority over
+	// ~200 arrivals: hits are a certainty, not a coin flip.
+	if res.CacheHits == 0 {
+		t.Fatalf("no cache hits observed client-side: %+v", res)
+	}
+	if res.P50Millis <= 0 || res.P99Millis < res.P50Millis || res.P999Millis < res.P99Millis {
+		t.Fatalf("implausible latency percentiles: %+v", res)
+	}
+
+	st, err := FetchStats(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 {
+		t.Fatalf("server stats saw no requests: %+v", st)
+	}
+	if st.CacheHits != res.CacheHits {
+		t.Fatalf("server counted %d cache hits, client saw %d", st.CacheHits, res.CacheHits)
+	}
+	if st.CacheEntries == 0 {
+		t.Fatalf("cache empty after a cacheable run: %+v", st)
+	}
+}
+
+// TestRunValidation: broken configs are refused before any traffic.
+func TestRunValidation(t *testing.T) {
+	keys := testKeys(t, 2, 64)
+	for name, cfg := range map[string]Config{
+		"no url":       {QPS: 1, Duration: time.Second, Keys: keys},
+		"zero qps":     {BaseURL: "http://x", Duration: time.Second, Keys: keys},
+		"zero dur":     {BaseURL: "http://x", QPS: 1, Keys: keys},
+		"no keys":      {BaseURL: "http://x", QPS: 1, Duration: time.Second},
+		"negative mix": {BaseURL: "http://x", QPS: 1, Duration: time.Second, Keys: keys, Mix: Mix{Exact: -1}},
+		"negative s":   {BaseURL: "http://x", QPS: 1, Duration: time.Second, Keys: keys, ZipfS: -0.5},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// ServerStats mirrors slide-serve's GET /stats body (the JSON tags match
+// internal/serve's statsSnapshot), so a run can pair its client-observed
+// tail with the server's own accounting — queue-side percentiles, shed
+// and deadline counters, and response-cache effectiveness.
+type ServerStats struct {
+	Requests            int64   `json:"requests"`
+	MeanBatchSize       float64 `json:"mean_batch_size"`
+	P50Millis           float64 `json:"p50_ms"`
+	P90Millis           float64 `json:"p90_ms"`
+	P99Millis           float64 `json:"p99_ms"`
+	P999Millis          float64 `json:"p999_ms"`
+	Shed                int64   `json:"shed"`
+	DeadlineExceeded    int64   `json:"deadline_exceeded"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	CacheEntries        int     `json:"cache_entries"`
+	LatencyBudgetMillis float64 `json:"latency_budget_ms"`
+	ExpectedWaitMillis  float64 `json:"expected_wait_ms"`
+}
+
+// FetchStats reads the server's /stats endpoint.
+func FetchStats(baseURL string) (ServerStats, error) {
+	var st ServerStats
+	resp, err := http.Get(baseURL + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decoding /stats: %w", err)
+	}
+	return st, nil
+}

@@ -1,8 +1,17 @@
-package main
+// Package serve is the slide-serve HTTP front end as a library: model
+// serving with micro-batching, atomic engine hot-swap (POST /reload,
+// SIGHUP), per-request deadlines, admission control with a latency
+// budget, and a generation-keyed response cache.
+//
+// cmd/slide-serve wraps it in a configured http.Server; the experiment
+// harness and the load-generator tests embed it directly so a real
+// serving stack can be driven in-process.
+package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,17 +19,18 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	"repro"
+	"repro/internal/core"
+	"repro/internal/sparse"
 )
 
-// serverOptions configures the serving front end.
-type serverOptions struct {
+// Options configures the serving front end.
+type Options struct {
 	// DefaultK is used when a request omits k; MaxK caps requested k.
 	DefaultK int
 	MaxK     int
@@ -44,9 +54,21 @@ type serverOptions struct {
 	// ModelPath is the model file the server was started from and the
 	// default source for POST /reload; empty disables path-less reloads.
 	ModelPath string
+	// LatencyBudget enables admission control: when the expected wait of
+	// a new request (queued work × observed per-element service time)
+	// would push its total latency beyond the budget, the request is
+	// shed with 429 and a Retry-After header instead of joining a queue
+	// it cannot clear in time. 0 disables shedding.
+	LatencyBudget time.Duration
+	// CacheSize bounds the response cache in entries. Exact and seeded
+	// sampled predictions are pure functions of (input, k, seed) within
+	// one engine generation, so their serialized response bodies are
+	// cached and replayed byte-identically until the next engine swap.
+	// 0 disables the cache.
+	CacheSize int
 }
 
-func (o serverOptions) withDefaults() serverOptions {
+func (o Options) withDefaults() Options {
 	if o.DefaultK <= 0 {
 		o.DefaultK = 5
 	}
@@ -69,24 +91,29 @@ func (o serverOptions) withDefaults() serverOptions {
 // engine they started with (pendingReq pins it), even if the new model
 // has a different shape.
 type engine struct {
-	net   *slide.Network
-	pred  *slide.Predictor
+	net   *core.Network
+	pred  *core.Predictor
 	model string // file the pair was loaded from ("" for in-memory models)
+	// gen is the engine's generation: 0 for the boot engine, the reload
+	// counter value for every engine swapped in after it. Response-cache
+	// keys embed it, so entries filled against one model can never be
+	// served from another.
+	gen int64
 }
 
-func newEngine(net *slide.Network, model string) (*engine, error) {
+func newEngine(net *core.Network, model string, gen int64) (*engine, error) {
 	pred, err := net.NewPredictor()
 	if err != nil {
 		return nil, err
 	}
-	return &engine{net: net, pred: pred, model: model}, nil
+	return &engine{net: net, pred: pred, model: model, gen: gen}, nil
 }
 
-// server owns the swappable engine and the micro-batching queue in front
+// Server owns the swappable engine and the micro-batching queue in front
 // of it.
-type server struct {
+type Server struct {
 	eng  atomic.Pointer[engine]
-	opts serverOptions
+	opts Options
 
 	// reloadMu serializes /reload so concurrent reloads do not waste
 	// duplicate model loads; prediction traffic never takes it.
@@ -98,6 +125,8 @@ type server struct {
 	wg    sync.WaitGroup
 
 	stats statsRecorder
+	adm   admission
+	cache *respCache
 	// arrivals tracks one inter-arrival estimator per inference mode,
 	// indexed by modeIdx: exact and sampled requests have very different
 	// service times and traffic mixes, so each micro-batch's gather
@@ -119,14 +148,19 @@ func modeIdx(sampled bool) int {
 // request against a model with a different input dimension.
 type pendingReq struct {
 	eng     *engine
-	x       slide.Vector
+	x       sparse.Vector
 	k       int
 	sampled bool
 	// seeded marks a request carrying a "seed" field; its sampled
 	// prediction must be a pure function of (x, seed).
 	seeded bool
 	seed   uint64
-	reply  chan batchReply
+	// deadline is the absolute point the request's answer stops being
+	// useful (zero: none). The batcher prunes requests already past it
+	// instead of computing them, and derives the batch context from the
+	// group's deadlines so PredictBatch cancels doomed fan-outs.
+	deadline time.Time
+	reply    chan batchReply
 }
 
 type batchReply struct {
@@ -136,19 +170,25 @@ type batchReply struct {
 	err       error
 }
 
-func newServer(net *slide.Network, opts serverOptions) (*server, error) {
+// New builds a server over an already-loaded network. The returned
+// Server is ready to serve via Handler; Close stops its micro-batcher.
+func New(net *core.Network, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	eng, err := newEngine(net, opts.ModelPath)
+	eng, err := newEngine(net, opts.ModelPath, 0)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{
+	s := &Server{
 		opts:  opts,
 		reqCh: make(chan *pendingReq, 4*opts.BatchMax),
 		done:  make(chan struct{}),
 	}
 	for m := range s.arrivals {
 		s.arrivals[m].gapCapNS = gapCapWindows * float64(opts.BatchWindow)
+	}
+	s.adm.budget = opts.LatencyBudget
+	if opts.CacheSize > 0 {
+		s.cache = newRespCache(opts.CacheSize)
 	}
 	s.eng.Store(eng)
 	s.wg.Add(1)
@@ -160,12 +200,13 @@ func newServer(net *slide.Network, opts serverOptions) (*server, error) {
 // (batchLoop drains the queue before exiting); a request that races past
 // the drain gets an error reply from its own wait on s.done rather than
 // blocking forever.
-func (s *server) Close() {
+func (s *Server) Close() {
 	close(s.done)
 	s.wg.Wait()
 }
 
-func (s *server) routes() http.Handler {
+// Handler returns the HTTP routing for the server's endpoints.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
@@ -175,19 +216,48 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
+// deadlineHeader carries a per-request deadline in milliseconds; the
+// body's deadline_ms field does the same for clients that cannot set
+// headers. When both are present the tighter one wins.
+const deadlineHeader = "X-Slide-Deadline-Ms"
+
+// requestDeadline resolves a request's deadline budget from body field
+// and header; 0 means none. A malformed header is an error the client
+// should hear about, not a silently unbounded request.
+func requestDeadline(bodyMs float64, h http.Header) (time.Duration, error) {
+	d := time.Duration(bodyMs * float64(time.Millisecond))
+	if v := h.Get(deadlineHeader); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return 0, fmt.Errorf("bad %s header %q", deadlineHeader, v)
+		}
+		hd := time.Duration(ms * float64(time.Millisecond))
+		if d == 0 || (hd > 0 && hd < d) {
+			d = hd
+		}
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative deadline_ms")
+	}
+	return d, nil
+}
+
 // predictRequest is the POST /predict body: a sparse feature vector as
 // parallel index/value lists, the requested top-k, and whether to use
 // SLIDE's sub-linear sampled inference or the exact full forward pass.
 // An optional seed makes a sampled prediction deterministic: identical
 // (indices, values, k, seed) requests return identical ids and scores no
 // matter what other traffic the server is handling. Exact predictions
-// are always deterministic; seed is ignored for them.
+// are always deterministic; seed is ignored for them. An optional
+// deadline_ms bounds how long the caller will wait: work that cannot
+// finish inside it is cancelled (504) instead of computed.
 type predictRequest struct {
-	Indices []int32   `json:"indices"`
-	Values  []float32 `json:"values"`
-	K       int       `json:"k"`
-	Sampled bool      `json:"sampled"`
-	Seed    *uint64   `json:"seed"`
+	Indices    []int32   `json:"indices"`
+	Values     []float32 `json:"values"`
+	K          int       `json:"k"`
+	Sampled    bool      `json:"sampled"`
+	Seed       *uint64   `json:"seed"`
+	DeadlineMs float64   `json:"deadline_ms"`
 }
 
 type predictResponse struct {
@@ -198,7 +268,7 @@ type predictResponse struct {
 	Millis    float64   `json:"ms"`
 }
 
-func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	var req predictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22)).Decode(&req); err != nil {
@@ -220,8 +290,13 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if k > s.opts.MaxK {
 		k = s.opts.MaxK
 	}
+	budget, err := requestDeadline(req.DeadlineMs, r.Header)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	eng := s.eng.Load()
-	x, err := slide.NewVector(eng.net.Config().InputDim, req.Indices, req.Values)
+	x, err := sparse.New(eng.net.Config().InputDim, req.Indices, req.Values)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad feature vector: %v", err)
 		return
@@ -232,13 +307,56 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		p.seeded = true
 		p.seed = *req.Seed
 	}
+	ctx := r.Context()
+	if budget > 0 {
+		p.deadline = t0.Add(budget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, p.deadline)
+		defer cancel()
+	}
+
+	// Response cache: exact predictions are always deterministic and
+	// seeded sampled ones are pure functions of (input, seed), so within
+	// one engine generation their serialized bodies can be replayed
+	// verbatim. Hits bypass the queue and the admission gate — they cost
+	// microseconds, shedding them would protect nothing.
+	cacheable := s.cache != nil && (!p.sampled || p.seeded)
+	var key string
+	if cacheable {
+		key = cacheKey(eng.gen, x, k, p.sampled, p.seeded, p.seed)
+		if body, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			s.stats.record(float64(time.Since(t0).Microseconds())/1000, 1)
+			w.Header().Set("X-Cache", "hit")
+			writeRawJSON(w, http.StatusOK, body)
+			return
+		}
+		s.stats.cacheMisses.Add(1)
+		w.Header().Set("X-Cache", "miss")
+	}
+
+	// Admission control: compare the request's expected total latency
+	// (work already in flight × measured per-element service time) to
+	// the budget and shed with 429 + Retry-After rather than queue work
+	// that is doomed to miss it.
+	if wait, ok := s.adm.admit(1); !ok {
+		s.stats.sheds.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		httpError(w, http.StatusTooManyRequests,
+			"shed: expected wait %.1fms exceeds latency budget %.1fms",
+			float64(wait.Microseconds())/1000, float64(s.opts.LatencyBudget.Microseconds())/1000)
+		return
+	}
+	s.adm.start(1)
+	defer s.adm.done(1)
+
 	var rep batchReply
 	if p.sampled && p.seeded {
 		// Seeded requests gain nothing from gathering — they always run
 		// as individual seeded predictions — so skip the micro-batch
 		// queue: no window wait, and a slow seeded pass never
 		// head-of-line-blocks the batcher for unrelated traffic.
-		rep = s.runOne(r.Context(), p)
+		rep = s.runOne(ctx, p)
 	} else if s.opts.BatchWindow > 0 {
 		// Only queue-bound requests feed their mode's arrival-rate
 		// estimate (they are the population the gather window is sized
@@ -253,8 +371,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		case <-s.done:
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
-		case <-r.Context().Done():
-			httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", r.Context().Err())
+		case <-ctx.Done():
+			s.replyCancelled(w, ctx, "cancelled while queued")
 			return
 		}
 		select {
@@ -265,16 +383,26 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// never come.
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
-		case <-r.Context().Done():
-			// The batcher will still complete the work and drop the
-			// buffered reply; the client has gone away.
-			httpError(w, http.StatusServiceUnavailable, "cancelled: %v", r.Context().Err())
+		case <-ctx.Done():
+			// The batcher will still complete (or prune) the work and
+			// drop the buffered reply; the client has gone away or run
+			// out of deadline.
+			s.replyCancelled(w, ctx, "cancelled")
 			return
 		}
 	} else {
-		rep = s.runOne(r.Context(), p)
+		rep = s.runOne(ctx, p)
 	}
 	if rep.err != nil {
+		if errors.Is(rep.err, context.DeadlineExceeded) {
+			s.stats.deadlineExceeded.Add(1)
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", rep.err)
+			return
+		}
+		if errors.Is(rep.err, context.Canceled) {
+			httpError(w, http.StatusServiceUnavailable, "cancelled: %v", rep.err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "predict: %v", rep.err)
 		return
 	}
@@ -283,27 +411,62 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if req.Sampled {
 		mode = "sampled"
 	}
+	s.adm.observeSojourn(time.Since(t0))
 	ms := float64(time.Since(t0).Microseconds()) / 1000
 	s.stats.record(ms, rep.batchSize)
-	writeJSON(w, http.StatusOK, predictResponse{
+	resp := predictResponse{
 		IDs: rep.ids, Scores: rep.scores, Mode: mode, BatchSize: rep.batchSize, Millis: ms,
-	})
+	}
+	if cacheable {
+		body, err := encodeJSON(resp)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+			return
+		}
+		s.cache.put(key, body)
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// replyCancelled maps a dead request context to the right status: 504
+// for a spent deadline (counted), 503 for a vanished client.
+func (s *Server) replyCancelled(w http.ResponseWriter, ctx context.Context, what string) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.stats.deadlineExceeded.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "%s: deadline exceeded", what)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "%s: %v", what, ctx.Err())
+}
+
+// retryAfterSeconds renders an expected wait as a Retry-After value:
+// whole seconds, at least 1 (the header has no sub-second form).
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // batchPredictRequest is the POST /predict/batch body: a list of sparse
-// feature vectors sharing one k / mode / optional seed. Bulk clients use
-// it to hit the Predictor's multi-core PredictBatch fan-out directly —
-// no micro-batch gathering window, no per-vector HTTP overhead. With a
-// seed, element i is seeded deterministically from seed and i exactly as
-// PredictBatchSampled documents.
+// feature vectors sharing one k / mode / optional seed / optional
+// deadline. Bulk clients use it to hit the Predictor's multi-core
+// PredictBatch fan-out directly — no micro-batch gathering window, no
+// per-vector HTTP overhead. With a seed, element i is seeded
+// deterministically from seed and i exactly as PredictBatchSampled
+// documents.
 type batchPredictRequest struct {
 	Batch []struct {
 		Indices []int32   `json:"indices"`
 		Values  []float32 `json:"values"`
 	} `json:"batch"`
-	K       int     `json:"k"`
-	Sampled bool    `json:"sampled"`
-	Seed    *uint64 `json:"seed"`
+	K          int     `json:"k"`
+	Sampled    bool    `json:"sampled"`
+	Seed       *uint64 `json:"seed"`
+	DeadlineMs float64 `json:"deadline_ms"`
 }
 
 type batchPredictResponse struct {
@@ -318,7 +481,7 @@ type predictResult struct {
 	Scores []float32 `json:"scores"`
 }
 
-func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	var req batchPredictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<26)).Decode(&req); err != nil {
@@ -340,9 +503,14 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if k > s.opts.MaxK {
 		k = s.opts.MaxK
 	}
+	budget, err := requestDeadline(req.DeadlineMs, r.Header)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	eng := s.eng.Load()
 	dim := eng.net.Config().InputDim
-	xs := make([]slide.Vector, len(req.Batch))
+	xs := make([]sparse.Vector, len(req.Batch))
 	for i, el := range req.Batch {
 		if len(el.Indices) != len(el.Values) {
 			httpError(w, http.StatusBadRequest, "element %d: %d indices but %d values", i, len(el.Indices), len(el.Values))
@@ -352,7 +520,7 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "element %d: empty feature vector", i)
 			return
 		}
-		x, err := slide.NewVector(dim, el.Indices, el.Values)
+		x, err := sparse.New(dim, el.Indices, el.Values)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "element %d: bad feature vector: %v", i, err)
 			return
@@ -360,21 +528,54 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		xs[i] = x
 	}
 
+	// Admission weighs the bulk body by its element count: a 100-vector
+	// batch displaces 100 queued singles' worth of service time.
+	if wait, ok := s.adm.admit(int64(len(xs))); !ok {
+		s.stats.sheds.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		httpError(w, http.StatusTooManyRequests,
+			"shed: expected wait %.1fms for %d elements exceeds latency budget %.1fms",
+			float64(wait.Microseconds())/1000, len(xs), float64(s.opts.LatencyBudget.Microseconds())/1000)
+		return
+	}
+	s.adm.start(int64(len(xs)))
+	defer s.adm.done(int64(len(xs)))
+
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, t0.Add(budget))
+		defer cancel()
+	}
+
 	var ids [][]int32
 	var scores [][]float32
-	var err error
 	mode := "exact"
 	switch {
 	case req.Sampled && req.Seed != nil:
 		mode = "sampled"
-		ids, scores, err = eng.pred.PredictBatchSampled(r.Context(), xs, k, slide.PredictOpts{Seed: *req.Seed})
+		ids, scores, err = eng.pred.PredictBatchSampled(ctx, xs, k, core.PredictOpts{Seed: *req.Seed})
 	case req.Sampled:
 		mode = "sampled"
-		ids, scores, err = eng.pred.PredictBatchSampled(r.Context(), xs, k)
+		ids, scores, err = eng.pred.PredictBatchSampled(ctx, xs, k)
 	default:
-		ids, scores, err = eng.pred.PredictBatch(r.Context(), xs, k)
+		ids, scores, err = eng.pred.PredictBatch(ctx, xs, k)
+	}
+	dur := time.Since(t0)
+	if err == nil {
+		s.adm.observe(dur, len(xs))
+		s.adm.observeSojourn(dur)
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.stats.deadlineExceeded.Add(1)
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			httpError(w, http.StatusServiceUnavailable, "cancelled: %v", err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "predict batch: %v", err)
 		return
 	}
@@ -383,23 +584,24 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range results {
 		results[i] = predictResult{IDs: ids[i], Scores: scores[i]}
 	}
-	ms := float64(time.Since(t0).Microseconds()) / 1000
+	ms := float64(dur.Microseconds()) / 1000
 	s.stats.record(ms, len(xs))
 	writeJSON(w, http.StatusOK, batchPredictResponse{
 		Results: results, Mode: mode, Count: len(xs), Millis: ms,
 	})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	eng := s.eng.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"model":     eng.model,
-		"reloads":   s.reloads.Load(),
-		"input_dim": eng.net.Config().InputDim,
-		"classes":   eng.net.OutputDim(),
-		"layers":    eng.net.NumLayers(),
-		"params":    eng.net.NumParams(),
+		"status":     "ok",
+		"model":      eng.model,
+		"reloads":    s.reloads.Load(),
+		"generation": eng.gen,
+		"input_dim":  eng.net.Config().InputDim,
+		"classes":    eng.net.OutputDim(),
+		"layers":     eng.net.NumLayers(),
+		"params":     eng.net.NumParams(),
 	})
 }
 
@@ -415,7 +617,7 @@ type reloadRequest struct {
 // old engine finish on it; everything arriving after the swap sees the
 // new model. The old pair is dropped to the garbage collector once its
 // in-flight requests drain.
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	var req reloadRequest
 	// An empty body means "reload the default model"; io.EOF (rather
@@ -434,51 +636,59 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	eng, reloads, err := s.reloadFrom(path)
+	eng, reloads, err := s.ReloadFrom(path)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"model":     path,
-		"reloads":   reloads,
-		"input_dim": eng.net.Config().InputDim,
-		"classes":   eng.net.OutputDim(),
-		"params":    eng.net.NumParams(),
-		"ms":        float64(time.Since(t0).Microseconds()) / 1000,
+		"status":     "ok",
+		"model":      path,
+		"reloads":    reloads,
+		"generation": eng.gen,
+		"input_dim":  eng.net.Config().InputDim,
+		"classes":    eng.net.OutputDim(),
+		"params":     eng.net.NumParams(),
+		"ms":         float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
 
-// reloadFrom loads the model at path, builds a fresh engine and
+// ReloadFrom loads the model at path, builds a fresh engine and
 // publishes it with one atomic swap, returning the new engine and this
 // reload's counter value (captured while the swap is still the latest,
-// so concurrent reloads report distinct counts). It is the shared
-// implementation behind POST /reload and SIGHUP.
-func (s *server) reloadFrom(path string) (*engine, int64, error) {
+// so concurrent reloads report distinct counts). The response cache is
+// invalidated wholesale: entries are keyed by engine generation, so the
+// purge is for memory, not correctness. It is the shared implementation
+// behind POST /reload and SIGHUP.
+func (s *Server) ReloadFrom(path string) (*engine, int64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("opening model: %w", err)
 	}
-	net, err := slide.LoadModel(f)
+	net, err := core.LoadModel(f)
 	f.Close()
 	if err != nil {
 		return nil, 0, fmt.Errorf("loading model: %w", err)
 	}
-	eng, err := newEngine(net, path)
+	gen := s.reloads.Add(1)
+	eng, err := newEngine(net, path, gen)
 	if err != nil {
+		s.reloads.Add(-1)
 		return nil, 0, fmt.Errorf("building predictor: %w", err)
 	}
 	s.eng.Store(eng)
-	return eng, s.reloads.Add(1), nil
+	if s.cache != nil {
+		s.cache.purge()
+	}
+	return eng, gen, nil
 }
 
-// watchSIGHUP wires the Unix convention to the same atomic engine swap
+// WatchSIGHUP wires the Unix convention to the same atomic engine swap
 // as POST /reload: on SIGHUP the server re-reads the -model file it was
 // started from. The returned stop function unregisters the handler.
-func (s *server) watchSIGHUP(logf func(format string, args ...any)) (stop func()) {
+func (s *Server) WatchSIGHUP(logf func(format string, args ...any)) (stop func()) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -494,7 +704,7 @@ func (s *server) watchSIGHUP(logf func(format string, args ...any)) (stop func()
 					continue
 				}
 				t0 := time.Now()
-				eng, _, err := s.reloadFrom(s.opts.ModelPath)
+				eng, _, err := s.ReloadFrom(s.opts.ModelPath)
 				if err != nil {
 					logf("SIGHUP reload failed: %v", err)
 					continue
@@ -513,8 +723,15 @@ func (s *server) watchSIGHUP(logf func(format string, args ...any)) (stop func()
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.stats.snapshot()
+	if s.opts.LatencyBudget > 0 {
+		snap.LatencyBudgetMillis = float64(s.opts.LatencyBudget.Microseconds()) / 1000
+		snap.ExpectedWaitMillis = float64(s.adm.expectedWait(0).Microseconds()) / 1000
+	}
+	if s.cache != nil {
+		snap.CacheEntries = s.cache.len()
+	}
 	if s.opts.AdaptiveWindow {
 		for m := range s.arrivals {
 			ewma, primed := s.arrivals[m].interarrival()
@@ -541,7 +758,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // from the observed arrival rate with AdaptiveWindow — further requests
 // join until the window closes or the batch fills, then the whole batch
 // runs through one PredictBatch fan-out per mode.
-func (s *server) batchLoop() {
+func (s *Server) batchLoop() {
 	defer s.wg.Done()
 	for {
 		var first *pendingReq
@@ -675,7 +892,7 @@ func (e *arrivalEstimator) window(max time.Duration, batchMax int) time.Duration
 
 // drain serves whatever is still queued at shutdown so no handler is
 // left waiting on a reply that will never come.
-func (s *server) drain() {
+func (s *Server) drain() {
 	for {
 		select {
 		case r := <-s.reqCh:
@@ -695,19 +912,46 @@ type batchGroup struct {
 	sampled bool
 }
 
+// groupContext derives the context a group's PredictBatch runs under:
+// when every member carries a deadline the fan-out is cancelled at the
+// latest one (members past their own deadline have already been pruned,
+// so cancellation means the entire group is doomed); one open-ended
+// member keeps the fan-out uncancellable, exactly as before deadlines
+// existed.
+func groupContext(group []*pendingReq) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range group {
+		if r.deadline.IsZero() {
+			return context.Background(), func() {}
+		}
+		if r.deadline.After(latest) {
+			latest = r.deadline
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
 // runBatch partitions a micro-batch by (engine, inference mode), runs one
 // PredictBatch per group at the largest requested k, and trims each
-// request's reply down to its own k. Seeded sampled requests (normally
-// dispatched straight to runOne by handlePredict, but handled here too so
-// a seeded request can never be mis-batched) leave the shared fan-out:
-// each runs as its own seeded single prediction on a state from its
-// engine's quarantined seeded pool, reseeded from the request seed, so
-// its result is a pure function of (input, seed) and never depends on
-// what else happened to share the micro-batch.
-func (s *server) runBatch(batch []*pendingReq) {
+// request's reply down to its own k. Requests already past their
+// deadline are pruned with a DeadlineExceeded reply instead of computed —
+// the doomed-work half of deadline propagation; the group's context
+// (groupContext) is the cancelled-mid-flight half. Seeded sampled
+// requests (normally dispatched straight to runOne by handlePredict, but
+// handled here too so a seeded request can never be mis-batched) leave
+// the shared fan-out: each runs as its own seeded single prediction on a
+// state from its engine's quarantined seeded pool, reseeded from the
+// request seed, so its result is a pure function of (input, seed) and
+// never depends on what else happened to share the micro-batch.
+func (s *Server) runBatch(batch []*pendingReq) {
+	now := time.Now()
 	groups := make(map[batchGroup][]*pendingReq)
 	var seeded []*pendingReq
 	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			r.reply <- batchReply{err: context.DeadlineExceeded}
+			continue
+		}
 		if r.sampled && r.seeded {
 			seeded = append(seeded, r)
 			continue
@@ -726,13 +970,17 @@ func (s *server) runBatch(batch []*pendingReq) {
 			defer wg.Done()
 			for i := w; i < len(seeded); i += workers {
 				r := seeded[i]
-				ids, scores, err := r.eng.pred.PredictSampled(r.x, r.k, slide.PredictOpts{Seed: r.seed})
+				t0 := time.Now()
+				ids, scores, err := r.eng.pred.PredictSampled(r.x, r.k, core.PredictOpts{Seed: r.seed})
+				if err == nil {
+					s.adm.observe(time.Since(t0), 1)
+				}
 				r.reply <- batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
 			}
 		}(w)
 	}
 	for key, group := range groups {
-		xs := make([]slide.Vector, len(group))
+		xs := make([]sparse.Vector, len(group))
 		maxK := 0
 		for j, r := range group {
 			xs[j] = r.x
@@ -740,13 +988,19 @@ func (s *server) runBatch(batch []*pendingReq) {
 				maxK = r.k
 			}
 		}
+		ctx, cancel := groupContext(group)
 		var ids [][]int32
 		var scores [][]float32
 		var err error
+		t0 := time.Now()
 		if key.sampled {
-			ids, scores, err = key.eng.pred.PredictBatchSampled(context.Background(), xs, maxK)
+			ids, scores, err = key.eng.pred.PredictBatchSampled(ctx, xs, maxK)
 		} else {
-			ids, scores, err = key.eng.pred.PredictBatch(context.Background(), xs, maxK)
+			ids, scores, err = key.eng.pred.PredictBatch(ctx, xs, maxK)
+		}
+		cancel()
+		if err == nil {
+			s.adm.observe(time.Since(t0), len(group))
 		}
 		for j, r := range group {
 			// batchSize is the fan-out the request actually rode —
@@ -763,115 +1017,17 @@ func (s *server) runBatch(batch []*pendingReq) {
 }
 
 // runOne serves a request without micro-batching, on its pinned engine.
-func (s *server) runOne(ctx context.Context, r *pendingReq) batchReply {
-	if err := ctx.Err(); err != nil {
-		return batchReply{err: err}
-	}
-	var opts []slide.PredictOpts
+// The request context gates the pass: work whose deadline is already
+// spent is refused by TopKWithScoresCtx before any compute happens.
+func (s *Server) runOne(ctx context.Context, r *pendingReq) batchReply {
+	var opts []core.PredictOpts
 	if r.sampled && r.seeded {
-		opts = append(opts, slide.PredictOpts{Seed: r.seed})
+		opts = append(opts, core.PredictOpts{Seed: r.seed})
 	}
-	ids, scores, err := r.eng.pred.TopKWithScores(r.x, r.k, r.sampled, opts...)
+	t0 := time.Now()
+	ids, scores, err := r.eng.pred.TopKWithScoresCtx(ctx, r.x, r.k, r.sampled, opts...)
+	if err == nil {
+		s.adm.observe(time.Since(t0), 1)
+	}
 	return batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
-}
-
-// statsRecorder accumulates request counts, micro-batch sizes and a ring
-// of recent latencies for percentile reporting.
-type statsRecorder struct {
-	mu         sync.Mutex
-	requests   int64
-	batchElems int64
-	lat        [4096]float64
-	pos        int
-	filled     bool
-}
-
-func (sr *statsRecorder) record(ms float64, batchSize int) {
-	sr.mu.Lock()
-	defer sr.mu.Unlock()
-	sr.requests++
-	sr.batchElems += int64(batchSize)
-	sr.lat[sr.pos] = ms
-	sr.pos++
-	if sr.pos == len(sr.lat) {
-		sr.pos = 0
-		sr.filled = true
-	}
-}
-
-// adaptiveModeStats reports one mode's arrival estimator: the observed
-// mean gap between batchable requests of that mode, and the gather
-// window the next micro-batch opened by that mode would use. A zero
-// WindowMillis is the designed sparse-traffic state (no peer expected in
-// time, so don't wait), distinguishable from "estimator unprimed or
-// feature disabled" because the whole struct is then absent.
-type adaptiveModeStats struct {
-	EWMAInterarrivalMillis float64 `json:"ewma_interarrival_ms"`
-	WindowMillis           float64 `json:"window_ms"`
-}
-
-type statsSnapshot struct {
-	Requests      int64   `json:"requests"`
-	MeanBatchSize float64 `json:"mean_batch_size"`
-	P50Millis     float64 `json:"p50_ms"`
-	P90Millis     float64 `json:"p90_ms"`
-	P99Millis     float64 `json:"p99_ms"`
-	// AdaptiveExact / AdaptiveSampled report the per-mode arrival
-	// estimators when -adaptive-window is on and the mode's estimator is
-	// primed. The modes are tracked separately: exact and sampled
-	// traffic arrive at independent rates, and each micro-batch's gather
-	// window is sized from the estimator of the mode that opened it.
-	AdaptiveExact   *adaptiveModeStats `json:"adaptive_exact,omitempty"`
-	AdaptiveSampled *adaptiveModeStats `json:"adaptive_sampled,omitempty"`
-}
-
-func (sr *statsRecorder) snapshot() statsSnapshot {
-	sr.mu.Lock()
-	n := sr.pos
-	if sr.filled {
-		n = len(sr.lat)
-	}
-	lats := append([]float64(nil), sr.lat[:n]...)
-	snap := statsSnapshot{Requests: sr.requests}
-	if sr.requests > 0 {
-		snap.MeanBatchSize = float64(sr.batchElems) / float64(sr.requests)
-	}
-	sr.mu.Unlock()
-
-	if len(lats) > 0 {
-		sort.Float64s(lats)
-		snap.P50Millis = percentile(lats, 0.50)
-		snap.P90Millis = percentile(lats, 0.90)
-		snap.P99Millis = percentile(lats, 0.99)
-	}
-	return snap
-}
-
-// percentile reads the p-quantile from ascending-sorted samples using the
-// nearest-rank definition: the smallest sample with at least a fraction p
-// of all samples at or below it, i.e. index ceil(p*n)-1. (Truncating
-// p*n would index one rank too high — p50 of two samples must be the
-// first, not the second.)
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -15,26 +15,35 @@ import (
 	"testing"
 	"time"
 
-	"repro"
+	"repro/internal/core"
+	"repro/internal/lsh"
+	"repro/internal/sampling"
+	"repro/internal/sparse"
 )
+
+// testConfig is the small sampled-softmax network every serving test
+// runs on.
+func testConfig(seed uint64) core.Config {
+	return core.Config{
+		InputDim: 64,
+		Seed:     seed,
+		Layers: []core.LayerConfig{
+			{Size: 32, Activation: core.ActReLU},
+			{
+				Size: 256, Activation: core.ActSoftmax,
+				Sampled: true, Hash: lsh.KindSimhash, K: 4, L: 8,
+				Strategy: sampling.KindVanilla, Beta: 48,
+			},
+		},
+	}
+}
 
 // testModel builds a small sampled-softmax network, round-trips it
 // through the self-describing model format, and returns the loaded copy —
 // exactly the path slide-serve takes from a slide-train -save file.
-func testModel(t *testing.T) *slide.Network {
+func testModel(t *testing.T) *core.Network {
 	t.Helper()
-	net, err := slide.New(slide.Config{
-		InputDim: 64,
-		Seed:     11,
-		Layers: []slide.LayerConfig{
-			{Size: 32, Activation: slide.ActReLU},
-			{
-				Size: 256, Activation: slide.ActSoftmax,
-				Sampled: true, Hash: slide.HashSimhash, K: 4, L: 8,
-				Strategy: slide.StrategyVanilla, Beta: 48,
-			},
-		},
-	})
+	net, err := core.NewNetwork(testConfig(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,21 +51,21 @@ func testModel(t *testing.T) *slide.Network {
 	if err := net.SaveModel(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := slide.LoadModel(&buf)
+	loaded, err := core.LoadModel(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return loaded
 }
 
-func startServer(t *testing.T, opts serverOptions) *httptest.Server {
+func startServer(t *testing.T, opts Options) *httptest.Server {
 	t.Helper()
-	s, err := newServer(testModel(t), opts)
+	s, err := New(testModel(t), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(s.Close)
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -88,7 +97,7 @@ func tryPostPredict(url string, body string) (int, predictResponse, error) {
 }
 
 func TestPredictExactAndSampled(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: time.Millisecond})
+	ts := startServer(t, Options{BatchWindow: time.Millisecond})
 	for _, mode := range []struct {
 		sampled bool
 		want    string
@@ -113,7 +122,7 @@ func TestPredictExactAndSampled(t *testing.T) {
 }
 
 func TestPredictDirectPathWithoutBatching(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: 0})
+	ts := startServer(t, Options{BatchWindow: 0})
 	code, pr := postPredict(t, ts.URL, `{"indices":[2,5],"values":[1,1],"k":4}`)
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
@@ -124,17 +133,29 @@ func TestPredictDirectPathWithoutBatching(t *testing.T) {
 }
 
 func TestPredictValidation(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: time.Millisecond})
+	ts := startServer(t, Options{BatchWindow: time.Millisecond})
 	for name, body := range map[string]string{
-		"mismatched":   `{"indices":[1,2],"values":[1.0]}`,
-		"empty":        `{"indices":[],"values":[]}`,
-		"out of range": `{"indices":[9999],"values":[1.0]}`,
-		"not json":     `nope`,
+		"mismatched":        `{"indices":[1,2],"values":[1.0]}`,
+		"empty":             `{"indices":[],"values":[]}`,
+		"out of range":      `{"indices":[9999],"values":[1.0]}`,
+		"not json":          `nope`,
+		"negative deadline": `{"indices":[1],"values":[1.0],"deadline_ms":-5}`,
 	} {
 		code, _ := postPredict(t, ts.URL, body)
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, code)
 		}
+	}
+	// A malformed deadline header is a client error too.
+	req, _ := http.NewRequest("POST", ts.URL+"/predict", bytes.NewReader([]byte(`{"indices":[1],"values":[1.0]}`)))
+	req.Header.Set(deadlineHeader, "soon")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad deadline header: status %d, want 400", resp.StatusCode)
 	}
 }
 
@@ -142,7 +163,7 @@ func TestPredictValidation(t *testing.T) {
 // requests in both modes and checks that micro-batching actually grouped
 // some of them while every reply stays well-formed.
 func TestConcurrentPredictMicroBatches(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: 5 * time.Millisecond, BatchMax: 32})
+	ts := startServer(t, Options{BatchWindow: 5 * time.Millisecond, BatchMax: 32})
 	const clients = 24
 	var wg sync.WaitGroup
 	sawBatch := make([]int, clients)
@@ -180,7 +201,7 @@ func TestConcurrentPredictMicroBatches(t *testing.T) {
 // latency field), across repeats, across concurrent mixed traffic, and
 // across the batched and unbatched paths.
 func TestSeededPredictDeterministic(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: 2 * time.Millisecond, BatchMax: 32})
+	ts := startServer(t, Options{BatchWindow: 2 * time.Millisecond, BatchMax: 32})
 	const body = `{"indices":[1,7,33],"values":[1.0,0.5,2.0],"k":3,"sampled":true,"seed":12345}`
 
 	normalize := func(pr predictResponse) predictResponse {
@@ -246,7 +267,7 @@ func TestSeededPredictDeterministic(t *testing.T) {
 	}
 
 	// The unbatched path gives the same answer as the batched path.
-	direct := startServer(t, serverOptions{BatchWindow: 0})
+	direct := startServer(t, Options{BatchWindow: 0})
 	code, pr := postPredict(t, direct.URL, body)
 	if code != http.StatusOK {
 		t.Fatalf("direct: status %d", code)
@@ -273,12 +294,12 @@ func TestSeededPredictDeterministic(t *testing.T) {
 // reply's batchSize is its mode group's size — and a seeded request, which
 // runs alone, always reports 1.
 func TestRunBatchReportsGroupSize(t *testing.T) {
-	s, err := newServer(testModel(t), serverOptions{BatchWindow: time.Millisecond})
+	s, err := New(testModel(t), Options{BatchWindow: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	x, err := slide.NewVector(64, []int32{1, 2}, []float32{1, 1})
+	x, err := sparse.New(64, []int32{1, 2}, []float32{1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +324,8 @@ func TestRunBatchReportsGroupSize(t *testing.T) {
 }
 
 // TestPercentileNearestRank pins percentile to the nearest-rank
-// definition: index ceil(p*n)-1 into the sorted samples.
+// definition: index ceil(p*n)-1 into the sorted samples — including the
+// P999 read the load harness depends on.
 func TestPercentileNearestRank(t *testing.T) {
 	seq := func(n int) []float64 {
 		s := make([]float64, n)
@@ -332,6 +354,12 @@ func TestPercentileNearestRank(t *testing.T) {
 		{"hundred p100", seq(100), 1.00, 100},
 		{"p0 clamps to min", seq(10), 0, 1},
 		{"empty returns zero", nil, 0.5, 0},
+		// P999: below 1000 samples it reads the max; at and beyond 1000
+		// it resolves a distinct rank.
+		{"hundred p999 is max", seq(100), 0.999, 100},
+		{"thousand p999", seq(1000), 0.999, 999},
+		{"two thousand p999", seq(2000), 0.999, 1998},
+		{"ring-sized p999", seq(4096), 0.999, 4092},
 	} {
 		if got := percentile(tc.sorted, tc.p); got != tc.want {
 			t.Errorf("%s: percentile(n=%d, p=%v) = %v, want %v",
@@ -341,7 +369,7 @@ func TestPercentileNearestRank(t *testing.T) {
 }
 
 func TestHealthzAndStats(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: time.Millisecond})
+	ts := startServer(t, Options{BatchWindow: time.Millisecond})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -372,8 +400,11 @@ func TestHealthzAndStats(t *testing.T) {
 	if snap.Requests != 5 {
 		t.Fatalf("stats requests = %d, want 5", snap.Requests)
 	}
-	if snap.P50Millis < 0 || snap.P99Millis < snap.P50Millis {
+	if snap.P50Millis < 0 || snap.P99Millis < snap.P50Millis || snap.P999Millis < snap.P99Millis {
 		t.Fatalf("implausible percentiles: %+v", snap)
+	}
+	if snap.Shed != 0 || snap.DeadlineExceeded != 0 {
+		t.Fatalf("counters moved without shedding/deadlines: %+v", snap)
 	}
 }
 
@@ -381,18 +412,7 @@ func TestHealthzAndStats(t *testing.T) {
 // returns its path — the on-disk artifact /reload consumes.
 func modelFile(t *testing.T, dir string, seed uint64) string {
 	t.Helper()
-	net, err := slide.New(slide.Config{
-		InputDim: 64,
-		Seed:     seed,
-		Layers: []slide.LayerConfig{
-			{Size: 32, Activation: slide.ActReLU},
-			{
-				Size: 256, Activation: slide.ActSoftmax,
-				Sampled: true, Hash: slide.HashSimhash, K: 4, L: 8,
-				Strategy: slide.StrategyVanilla, Beta: 48,
-			},
-		},
-	})
+	net, err := core.NewNetwork(testConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,6 +444,28 @@ func postJSON(t *testing.T, url, body string) (int, map[string]any) {
 	return resp.StatusCode, m
 }
 
+// serverFromFile loads a model file and builds a Server over it — the
+// slide-serve boot path.
+func serverFromFile(t *testing.T, path string, opts Options) *Server {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ModelPath = path
+	s, err := New(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
 // TestReloadSwapsEngineUnderLoad exercises the hot-reload satellite: the
 // server swaps its whole Network+Predictor pair from a model file while
 // concurrent /predict traffic is in flight, every response stays
@@ -433,21 +475,8 @@ func TestReloadSwapsEngineUnderLoad(t *testing.T) {
 	pathA := modelFile(t, dir, 21)
 	pathB := modelFile(t, dir, 22)
 
-	f, err := os.Open(pathA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	net, err := slide.LoadModel(f)
-	f.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := newServer(net, serverOptions{BatchWindow: time.Millisecond, ModelPath: pathA})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(s.Close)
-	ts := httptest.NewServer(s.routes())
+	s := serverFromFile(t, pathA, Options{BatchWindow: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
 	// Concurrent clients keep predicting across the swap.
@@ -524,7 +553,7 @@ func TestReloadSwapsEngineUnderLoad(t *testing.T) {
 // TestReloadWithoutModelPath: a server started from an in-memory network
 // (no -model) refuses a path-less reload instead of crashing.
 func TestReloadWithoutModelPath(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: 0})
+	ts := startServer(t, Options{BatchWindow: 0})
 	code, rep := postJSON(t, ts.URL+"/reload", ``)
 	if code != http.StatusBadRequest {
 		t.Fatalf("path-less reload: status %d (%v), want 400", code, rep)
@@ -535,7 +564,7 @@ func TestReloadWithoutModelPath(t *testing.T) {
 // vector, matches the single-request exact path elementwise, and is
 // deterministic under a seed in sampled mode.
 func TestPredictBatchEndpoint(t *testing.T) {
-	ts := startServer(t, serverOptions{BatchWindow: 0})
+	ts := startServer(t, Options{BatchWindow: 0})
 
 	body := `{"batch":[
 		{"indices":[1,7,33],"values":[1.0,0.5,2.0]},
@@ -650,8 +679,8 @@ func TestArrivalEstimatorWindow(t *testing.T) {
 		t.Fatalf("post-burst window = %v, want small and positive", w)
 	}
 
-	// With the gap cap (as newServer configures it), one overnight idle
-	// gap must not poison the estimate: a burst resuming right after it
+	// With the gap cap (as New configures it), one overnight idle gap
+	// must not poison the estimate: a burst resuming right after it
 	// recovers a positive window within a few samples instead of ~100.
 	e = arrivalEstimator{gapCapNS: gapCapWindows * float64(max)}
 	at := base
@@ -686,7 +715,7 @@ func TestArrivalEstimatorWindow(t *testing.T) {
 // correctly under both idle and bursty traffic, and /stats exposes the
 // estimator once primed.
 func TestAdaptiveWindowServing(t *testing.T) {
-	ts := startServer(t, serverOptions{
+	ts := startServer(t, Options{
 		BatchWindow:    2 * time.Millisecond,
 		AdaptiveWindow: true,
 		BatchMax:       8,
@@ -752,7 +781,7 @@ func TestAdaptiveWindowServing(t *testing.T) {
 // TestPerModeAdaptiveWindows: each mode's estimator is fed only by its
 // own traffic, and /stats reports both once both are primed.
 func TestPerModeAdaptiveWindows(t *testing.T) {
-	ts := startServer(t, serverOptions{
+	ts := startServer(t, Options{
 		BatchWindow:    2 * time.Millisecond,
 		AdaptiveWindow: true,
 		BatchMax:       8,
@@ -805,21 +834,8 @@ func TestSIGHUPReloadsModel(t *testing.T) {
 	dir := t.TempDir()
 	path := modelFile(t, dir, 31)
 
-	f, err := os.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	net, err := slide.LoadModel(f)
-	f.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := newServer(net, serverOptions{ModelPath: path})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(s.Close)
-	stop := s.watchSIGHUP(t.Logf)
+	s := serverFromFile(t, path, Options{})
+	stop := s.WatchSIGHUP(t.Logf)
 	t.Cleanup(stop)
 
 	before := s.eng.Load()
@@ -856,12 +872,12 @@ func TestSIGHUPReloadsModel(t *testing.T) {
 // TestSIGHUPWithoutModelPath: a server started without -model logs and
 // survives the signal instead of crashing or swapping in garbage.
 func TestSIGHUPWithoutModelPath(t *testing.T) {
-	s, err := newServer(testModel(t), serverOptions{})
+	s, err := New(testModel(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(s.Close)
-	stop := s.watchSIGHUP(t.Logf)
+	stop := s.WatchSIGHUP(t.Logf)
 	t.Cleanup(stop)
 
 	before := s.eng.Load()

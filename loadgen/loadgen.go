@@ -1,0 +1,34 @@
+// Package loadgen is the public surface of the open-loop slide-serve
+// load generator: Poisson arrivals at a configured offered rate, a
+// configurable exact/sampled/seeded/batch traffic mix over a
+// Zipf-skewed key set, and tail-latency + goodput reporting.
+//
+// It re-exports repro/internal/loadgen so binaries and external
+// consumers never import internal packages directly.
+package loadgen
+
+import (
+	"context"
+
+	"repro/internal/loadgen"
+)
+
+// Mix sets the traffic composition as relative weights.
+type Mix = loadgen.Mix
+
+// Config parameterizes one load run.
+type Config = loadgen.Config
+
+// Result reports one load run (latency percentiles, goodput,
+// shed/deadline/error/drop counts, cache hits).
+type Result = loadgen.Result
+
+// ServerStats mirrors slide-serve's GET /stats body.
+type ServerStats = loadgen.ServerStats
+
+// Run executes one open-loop load run and blocks until every dispatched
+// request completes.
+func Run(ctx context.Context, cfg Config) (Result, error) { return loadgen.Run(ctx, cfg) }
+
+// FetchStats reads a server's /stats endpoint.
+func FetchStats(baseURL string) (ServerStats, error) { return loadgen.FetchStats(baseURL) }

@@ -62,7 +62,9 @@ type Network = core.Network
 // prediction stays valid in the middle of a background table rebuild.
 // Construct one with Network.NewPredictor and share it between
 // goroutines; see core.Predictor for method documentation (Predict,
-// PredictSampled, PredictBatch, PredictBatchSampled, TopKWithScores).
+// PredictSampled, PredictBatch, PredictBatchSampled, TopKWithScores,
+// TopKWithScoresCtx — the context-aware variant servers use to honor
+// per-request deadlines).
 type Predictor = core.Predictor
 
 // PredictOpts requests deterministic sampled inference: passing
