@@ -9,7 +9,10 @@
 // and per-neuron allocation.
 package arena
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // CacheLineBytes is the alignment granule; rows are padded so that no two
 // rows share a cache line, removing the false-sharing opportunity App. D
@@ -18,12 +21,18 @@ const CacheLineBytes = 64
 
 const floatsPerLine = CacheLineBytes / 4
 
-// Arena allocates float32 slices out of large slabs.
+// Arena allocates float32 slices out of large slabs. A second byte-slab
+// class backs the quantized (uint16/int8) allocations, carved with the
+// same cache-line alignment.
 type Arena struct {
 	slabSize int
 	slabs    [][]float32
 	cur      []float32
 	off      int
+
+	bslabs [][]byte
+	bcur   []byte
+	boff   int
 }
 
 // New returns an arena whose slabs hold slabFloats float32 values each
@@ -105,9 +114,60 @@ func (a *Arena) AllocRows(rows, rowLen int, padded bool) [][]float32 {
 	return out
 }
 
+// allocBytes returns a zeroed cache-line-aligned byte slice of length n
+// from the byte-slab class. Byte slabs hold the same byte budget as the
+// float slabs (slabSize*4).
+func (a *Arena) allocBytes(n int) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("arena: negative allocation %d", n))
+	}
+	if n == 0 {
+		return nil
+	}
+	byteSlab := a.slabSize * 4
+	if n >= byteSlab {
+		s := make([]byte, n)
+		a.bslabs = append(a.bslabs, s)
+		return s
+	}
+	if rem := a.boff % CacheLineBytes; rem != 0 && a.bcur != nil {
+		if pad := CacheLineBytes - rem; a.boff+pad <= len(a.bcur) {
+			a.boff += pad
+		}
+	}
+	if a.bcur == nil || a.boff+n > len(a.bcur) {
+		a.bcur = make([]byte, byteSlab)
+		a.bslabs = append(a.bslabs, a.bcur)
+		a.boff = 0
+	}
+	s := a.bcur[a.boff : a.boff+n : a.boff+n]
+	a.boff += n
+	return s
+}
+
+// AllocUint16 returns a zeroed cache-line-aligned []uint16 of length n —
+// the backing store for BF16 weight mirrors.
+func (a *Arena) AllocUint16(n int) []uint16 {
+	b := a.allocBytes(n * 2)
+	if b == nil {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), n)
+}
+
+// AllocInt8 returns a zeroed cache-line-aligned []int8 of length n — the
+// backing store for int8 weight mirrors.
+func (a *Arena) AllocInt8(n int) []int8 {
+	b := a.allocBytes(n)
+	if b == nil {
+		return nil
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), n)
+}
+
 // Slabs reports how many distinct heap blocks back the arena — the
 // Table 4 analogue of the hugepage mapping count.
-func (a *Arena) Slabs() int { return len(a.slabs) }
+func (a *Arena) Slabs() int { return len(a.slabs) + len(a.bslabs) }
 
 // Floats reports the total float32 capacity currently owned by the arena.
 func (a *Arena) Floats() int {

@@ -7,8 +7,11 @@ package core
 const colTrackThreshold = 512
 
 // beginBatch advances every layer's batch epoch, invalidating the touched
-// neuron/column stamps in O(1).
+// neuron/column stamps in O(1). On the rare epoch wrap the layer stamps
+// and every registered backward shard's stamps are cleared, since stale
+// stamps could otherwise collide with re-issued epoch values.
 func (n *Network) beginBatch() {
+	wrapped := false
 	for _, l := range n.layers {
 		l.batchEpoch++
 		if l.batchEpoch == 0 { // stamp wrap: clear and restart
@@ -19,7 +22,11 @@ func (n *Network) beginBatch() {
 				l.colStamp[i] = 0
 			}
 			l.batchEpoch = 1
+			wrapped = true
 		}
+	}
+	if wrapped {
+		n.resetShardStamps()
 	}
 }
 

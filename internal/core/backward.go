@@ -13,13 +13,17 @@ import (
 // only those weights (an s² fraction when both layers are s-sparse)
 // accumulate gradient.
 //
-// Following the reference implementation, each thread pushes its
-// element's gradient contributions directly into the layer's shared
-// gradient buffers without synchronization (ModeHogwild — the HOGWILD
-// design; ModeAtomic uses CAS adds instead), marking the touched neurons
-// and input columns. The Adam step then runs once per batch over exactly
-// the touched weights (applyAdamBatch), so the per-parameter optimizer
-// cost is amortized across the batch just like the sparse gradient work.
+// With the fused kernel engine (every mode but KernelLegacy), gradient
+// contributions land in the worker's private per-layer backShards (see
+// shard.go): no cross-thread gradient writes exist at all, and the batch
+// boundary folds the shards into the SparseDelta. ModeHogwild and
+// ModeAtomic become the same code on this path — there is nothing left to
+// race on or to CAS. KernelLegacy keeps the original shared-buffer
+// disciplines as the equivalence reference: HOGWILD racy stores
+// (ModeHogwild), CAS adds (ModeAtomic), marking the touched neurons and
+// input columns. The Adam step then runs once per batch over exactly the
+// touched weights (applyAdamBatch), so the per-parameter optimizer cost is
+// amortized across the batch just like the sparse gradient work.
 //
 // In ModeBatchSync the element's active sets and deltas are captured into
 // rec instead and accumulated deterministically after the batch.
@@ -28,6 +32,10 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 	loss := outputDeltaAndLoss(&st.layers[last], labels)
 	if rec != nil {
 		rec.reset(len(n.layers))
+	}
+	fused := n.kern.Fused()
+	if fused && rec == nil && st.shards == nil {
+		st.shards = n.backShardSet(st.wk)
 	}
 	for li := last; li >= 0; li-- {
 		l := n.layers[li]
@@ -53,15 +61,16 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 			}
 		}
 
-		fused := n.kern.Fused()
-		switch n.cfg.UpdateMode {
-		case optim.ModeHogwild:
-			l.accumulate(ls, inIds, inVals, inFull, acc, false, fused)
-		case optim.ModeAtomic:
-			l.accumulate(ls, inIds, inVals, inFull, acc, true, fused)
-		case optim.ModeBatchSync:
+		switch {
+		case n.cfg.UpdateMode == optim.ModeBatchSync:
 			backLayerAccOnly(l, ls, inIds, inVals, inFull, acc)
 			rec.capture(li, ls, inIds, inVals, inFull, li == 0)
+		case fused:
+			l.accumulateSharded(st.shards[li], ls, inIds, inVals, inFull, acc)
+		case n.cfg.UpdateMode == optim.ModeAtomic:
+			l.accumulate(ls, inIds, inVals, inFull, acc, true, false)
+		default:
+			l.accumulate(ls, inIds, inVals, inFull, acc, false, false)
 		}
 
 		if li > 0 {
@@ -274,12 +283,31 @@ func (r *elemRecord) capture(li int, ls *layerState, inIds []int32, inVals []flo
 	lr.inVals = append(lr.inVals[:0], inVals...)
 }
 
-// accumulateBatchSync folds all captured records into the gradient
-// buffers, sharding neurons across workers by id so every buffer cell has
-// exactly one writer and the sums are independent of thread count.
+// accumulateBatchSync folds all captured records into gradient state,
+// sharding neurons across workers by id so every cell has exactly one
+// writer and the sums are independent of thread count. On the fused path
+// each worker-shard replays into its own backShard (no shared gradient
+// memory at all); KernelLegacy keeps the direct shared-buffer replay as
+// the equivalence reference.
 func (n *Network) accumulateBatchSync(records []*elemRecord, workers int) {
 	if workers < 1 {
 		workers = 1
+	}
+	if n.kern.Fused() {
+		parallelRange(workers, workers, func(lo, hi int) {
+			for shard := lo; shard < hi; shard++ {
+				set := n.backShardSet(shard)
+				for _, rec := range records {
+					if rec == nil || rec.used == 0 {
+						continue
+					}
+					for li := range rec.layers {
+						replayRecordShard(n.layers[li], set[li], &rec.layers[li], shard, workers)
+					}
+				}
+			}
+		})
+		return
 	}
 	parallelRange(workers, workers, func(lo, hi int) {
 		for shard := lo; shard < hi; shard++ {

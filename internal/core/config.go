@@ -77,6 +77,43 @@ func (k KernelMode) kernelConfig() kernels.Config {
 	return c.WithDefaults()
 }
 
+// MirrorFormat selects the numeric storage of the scatter-form weight
+// mirrors (internal/kernels). The zero value is exact fp32.
+type MirrorFormat int
+
+const (
+	// MirrorFP32 keeps mirrors in exact float32 — bit-identical to the
+	// row-major weights, the default.
+	MirrorFP32 MirrorFormat = iota
+	// MirrorBF16 stores mirrors in bfloat16, halving the bytes the
+	// scatter forward streams; forward results drift by at most the bf16
+	// rounding of each weight (relative ≤ 2⁻⁸ per cell).
+	MirrorBF16
+)
+
+// String returns the configuration name of the mirror format.
+func (m MirrorFormat) String() string {
+	switch m {
+	case MirrorFP32:
+		return "fp32"
+	case MirrorBF16:
+		return "bf16"
+	default:
+		return fmt.Sprintf("MirrorFormat(%d)", int(m))
+	}
+}
+
+// kernelFormat maps the core enum to the kernels-layer format. The int8
+// stretch format exists only at the kernels layer (per-column scales need
+// a rebuild policy training doesn't provide yet) and is deliberately not
+// exposed here.
+func (m MirrorFormat) kernelFormat() kernels.MirrorFormat {
+	if m == MirrorBF16 {
+		return kernels.MirrorBF16
+	}
+	return kernels.MirrorFP32
+}
+
 // Activation selects a layer non-linearity.
 type Activation int
 
@@ -196,6 +233,33 @@ type Config struct {
 	// reference path. Serialized with the model config; files written
 	// before the field existed load as KernelAuto.
 	Kernels KernelMode
+
+	// ScatterCrossover pins the gather/scatter density crossover the
+	// KernelAuto planner uses, in (0, 1). Zero — the default — measures
+	// it once per process at startup (kernels.CalibratedCrossover), so
+	// the plan adapts to the machine; pin it for runs whose kernel-form
+	// decisions must be reproducible across machines.
+	ScatterCrossover float64
+
+	// MirrorFormat selects the numeric storage of the scatter-form
+	// weight mirrors: exact fp32 (default) or bf16, which halves the
+	// mirror bytes the forward streams at a bounded accuracy cost (the
+	// row-major weights, gradients and optimizer state stay fp32).
+	MirrorFormat MirrorFormat
+}
+
+// kernelsConfig resolves the network's kernel-planning policy: the mode's
+// base config, with the gather/scatter crossover pinned by
+// ScatterCrossover or — for the adaptive planner — measured once per
+// process on this machine.
+func (c Config) kernelsConfig() kernels.Config {
+	kc := c.Kernels.kernelConfig()
+	if c.ScatterCrossover > 0 {
+		kc.ScatterMaxDensity = c.ScatterCrossover
+	} else if c.Kernels == KernelAuto {
+		kc.ScatterMaxDensity = kernels.CalibratedCrossover()
+	}
+	return kc
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +284,12 @@ func (c Config) validate() error {
 	}
 	if c.Kernels < KernelAuto || c.Kernels > KernelScatter {
 		return fmt.Errorf("core: unknown kernel mode %d", int(c.Kernels))
+	}
+	if c.ScatterCrossover < 0 || c.ScatterCrossover >= 1 {
+		return fmt.Errorf("core: ScatterCrossover must be in [0, 1), got %g", c.ScatterCrossover)
+	}
+	if c.MirrorFormat < MirrorFP32 || c.MirrorFormat > MirrorBF16 {
+		return fmt.Errorf("core: unknown mirror format %d", int(c.MirrorFormat))
 	}
 	for i, lc := range c.Layers {
 		if lc.Size <= 0 {

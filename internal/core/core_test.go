@@ -33,7 +33,11 @@ func denseNetConfig(in, hidden, classes int, mode optim.UpdateMode) Config {
 // computes true gradients.
 func TestGradientCheck(t *testing.T) {
 	const in, hidden, classes = 12, 6, 8
-	n, err := NewNetwork(denseNetConfig(in, hidden, classes, optim.ModeHogwild))
+	// Pin the legacy kernel path: the check reads the shared gW/gB
+	// buffers directly, which the sharded (fused) backward never writes.
+	cfg := denseNetConfig(in, hidden, classes, optim.ModeHogwild)
+	cfg.Kernels = KernelLegacy
+	n, err := NewNetwork(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

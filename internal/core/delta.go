@@ -127,11 +127,14 @@ type ShardCounter interface {
 }
 
 // ExtractDelta drains the gradient accumulated since beginBatch into dst
-// (reused when non-nil) and returns it. The gradient buffers are zeroed
-// as they are consumed and the touched stamps stay valid, so
+// (reused when non-nil) and returns it. On the fused kernel path the
+// gradient lives in per-worker backShards, folded here in fixed shard
+// order and consumed; on the legacy path the shared buffers are zeroed as
+// they are consumed and the touched stamps stay valid. Either way,
 // extract-then-ApplyDelta is bit-for-bit the fused applyAdamFused path
-// split in two. Must run at a batch boundary (no concurrent accumulate).
-// workers <= 0 selects GOMAXPROCS.
+// split in two whenever the accumulation itself was deterministic. Must
+// run at a batch boundary (no concurrent accumulate). workers <= 0
+// selects GOMAXPROCS.
 func (n *Network) ExtractDelta(dst *SparseDelta, workers int) *SparseDelta {
 	if workers <= 0 {
 		workers = defaultThreads()
@@ -140,8 +143,13 @@ func (n *Network) ExtractDelta(dst *SparseDelta, workers int) *SparseDelta {
 		dst = &SparseDelta{}
 	}
 	dst.reset(len(n.layers))
+	sharded := n.kern.Fused() && n.layerShards != nil
 	for li, l := range n.layers {
-		l.ExtractDelta(&dst.Layers[li], workers)
+		if sharded {
+			l.extractSharded(&dst.Layers[li], n.layerShards[li], workers)
+		} else {
+			l.ExtractDelta(&dst.Layers[li], workers)
+		}
 	}
 	return dst
 }

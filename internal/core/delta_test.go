@@ -123,6 +123,9 @@ func TestExtractApplyMatchesFusedAdam(t *testing.T) {
 	const classes = 128
 	ds := deltaTestDataset(t, classes)
 	cfg := deltaTestConfig(classes, optim.ModeHogwild)
+	// applyAdamFused consumes the shared gW buffers, which only the
+	// legacy (unsharded) backward fills.
+	cfg.Kernels = KernelLegacy
 	fused := mustNet(t, cfg)
 	split := mustNet(t, cfg)
 	stF := mustState(t, fused, 99)

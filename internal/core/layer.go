@@ -159,12 +159,14 @@ const mirrorMaxOut = 4096
 // can ever be selected for it: the layer computes its full output every
 // pass (not sampled), is narrow enough for the doubled weight memory, and
 // sparseIn reports that its input can arrive sparse (the first layer's
-// example features, or a preceding sampled layer's active set).
-func (l *Layer) initMirror(sparseIn bool) {
+// example features, or a preceding sampled layer's active set). The
+// mirror's cells are stored in format (fp32 exact or bf16 quantized) and
+// its slab comes from the network arena, cache-line aligned.
+func (l *Layer) initMirror(sparseIn bool, format kernels.MirrorFormat, ar *arena.Arena) {
 	if l.Sampled() || !sparseIn || l.out > mirrorMaxOut {
 		return
 	}
-	l.mirror = kernels.NewMirror(l.in, l.out)
+	l.mirror = kernels.NewMirrorFormat(l.in, l.out, format, ar)
 	l.mirror.Rebuild(l.w)
 }
 

@@ -57,6 +57,14 @@ type Network struct {
 	rebuildStallNS int64
 	rebuildBuildNS int64
 
+	// shardMu guards the backward gradient shard registry below. Shard
+	// sets are created lazily (first fused backward pass of a worker) and
+	// reused across Train calls; workerShards is keyed [worker][layer],
+	// layerShards is the transpose [layer][worker] that ExtractDelta folds.
+	shardMu      sync.Mutex
+	workerShards [][]*backShard
+	layerShards  [][]*backShard
+
 	// touchedWeights counts gradient cells extracted across all batches —
 	// the sparse-gradient communication payload of a distributed
 	// replica (§6 future work).
@@ -94,7 +102,7 @@ func newNetwork(cfg Config, buildTables bool) (*Network, error) {
 			return nil, fmt.Errorf("core: softmax activation only supported on the output layer (layer %d)", i)
 		}
 	}
-	n := &Network{cfg: cfg, ar: arena.NewDefault(), adam: cfg.Adam, kern: cfg.Kernels.kernelConfig()}
+	n := &Network{cfg: cfg, ar: arena.NewDefault(), adam: cfg.Adam, kern: cfg.kernelsConfig()}
 	in := cfg.InputDim
 	for i, lc := range cfg.Layers {
 		l, err := newLayer(i, in, lc, cfg, n.ar, cfg.Seed)
@@ -111,7 +119,7 @@ func newNetwork(cfg Config, buildTables bool) (*Network, error) {
 		// pay for a mirror.
 		sparseIn := true
 		for _, l := range n.layers {
-			l.initMirror(sparseIn)
+			l.initMirror(sparseIn, cfg.MirrorFormat.kernelFormat(), n.ar)
 			sparseIn = l.Sampled()
 		}
 	}
@@ -125,6 +133,10 @@ func newNetwork(cfg Config, buildTables bool) (*Network, error) {
 
 // Config returns the network's (defaulted) configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// KernelPolicy returns the resolved kernel-planning policy, including the
+// effective gather/scatter density crossover (pinned or calibrated).
+func (n *Network) KernelPolicy() kernels.Config { return n.kern }
 
 // NumLayers returns the layer count.
 func (n *Network) NumLayers() int { return len(n.layers) }

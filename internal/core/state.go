@@ -59,6 +59,14 @@ func (ls *layerState) sizeVals(n int) {
 type elemState struct {
 	layers []layerState
 
+	// wk is the worker index the state was built for; it keys the
+	// network's backward gradient shard set (shard.go).
+	wk int
+	// shards is the worker's per-layer backward gradient shards, attached
+	// lazily on the first fused backward pass and reused across batches
+	// and Train calls.
+	shards []*backShard
+
 	// codes is per-layer hash-code scratch (K*L entries for sampled
 	// layers).
 	codes [][]uint32
@@ -109,6 +117,7 @@ const (
 func newElemState(n *Network, seed uint64, w int) (*elemState, error) {
 	st := &elemState{
 		layers:      make([]layerState, len(n.layers)),
+		wk:          w,
 		codes:       make([][]uint32, len(n.layers)),
 		strategies:  make([]sampling.Strategy, len(n.layers)),
 		mark:        make([][]uint32, len(n.layers)),

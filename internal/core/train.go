@@ -96,6 +96,11 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		if err != nil {
 			return nil, err
 		}
+		if n.kern.Fused() {
+			// Attach the worker's backward gradient shards up front so the
+			// hot loop never takes the registry lock.
+			st.shards = n.backShardSet(w)
+		}
 		states[w] = st
 	}
 

@@ -82,6 +82,10 @@ type Report struct {
 	Notes  []string
 	Tables []Table
 	Series []Series
+	// Machine records the host the report was measured on; WriteJSON
+	// stamps it automatically so committed BENCH_*.json trajectories are
+	// always attributable to their hardware.
+	Machine *MachineInfo `json:",omitempty"`
 }
 
 // AddNote appends a formatted note to the report.
@@ -116,6 +120,10 @@ func (r *Report) WriteText(w io.Writer) {
 // benchmark trajectories (e.g. BENCH_kernels.json) that successive PRs
 // can diff.
 func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Machine == nil {
+		m := CurrentMachine()
+		r.Machine = &m
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

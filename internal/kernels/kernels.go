@@ -34,6 +34,7 @@ package kernels
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/vecmath"
 )
 
@@ -135,6 +136,45 @@ func (c Config) ForwardForm(nnz, in int, inFull, hasMirror bool) Form {
 // outer-product kernels (every form except the legacy reference).
 func (c Config) Fused() bool { return c.Force != FormLegacy }
 
+// MirrorFormat selects the numeric storage of a weight mirror. FP32 is
+// the exact default; BF16 halves the bytes the scatter form streams at
+// ~3 decimal digits of precision; int8 quarters them behind a per-column
+// scale (the stretch format — saturating near the scale boundary, so
+// suited to inference and tolerance-tested training, not bit-exactness).
+type MirrorFormat uint8
+
+const (
+	// MirrorFP32 stores exact float32 columns (bit-identical to the
+	// row-major weights).
+	MirrorFP32 MirrorFormat = iota
+	// MirrorBF16 stores bfloat16 columns (round-to-nearest-even on every
+	// write; relative error ≤ 2⁻⁸ per weight).
+	MirrorBF16
+	// MirrorInt8 stores int8 columns with one dequantization scale per
+	// column, fixed at Rebuild with 2x headroom; writes beyond the
+	// representable range saturate.
+	MirrorInt8
+)
+
+// String returns the configuration name of the format.
+func (f MirrorFormat) String() string {
+	switch f {
+	case MirrorFP32:
+		return "fp32"
+	case MirrorBF16:
+		return "bf16"
+	case MirrorInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("MirrorFormat(%d)", uint8(f))
+	}
+}
+
+// int8Headroom is the slack Rebuild leaves between a column's current
+// max |w| and the saturation point, so training drift keeps resolving
+// until the next Rebuild.
+const int8Headroom = 2.0
+
 // Mirror is a column-major copy of a layer's weight matrix: Col(i) is the
 // contiguous slice of every neuron's weight for input i — the operand the
 // scatter form Axpys per input nonzero. It is derived state: the layer
@@ -142,32 +182,115 @@ func (c Config) Fused() bool { return c.Force != FormLegacy }
 // optimizer step (each Adam step touches exactly the delta's cells, so
 // the mirror update costs one extra store per stepped cell). Concurrent
 // readers during training inherit the row-major weights' HOGWILD
-// weak-consistency argument unchanged.
+// weak-consistency argument unchanged. Quantized formats store the same
+// layout in narrower cells and supply their own column kernels to
+// ScatterForward.
 type Mirror struct {
 	in, out int
-	t       []float32 // t[i*out+j] = w[j][i]
+	format  MirrorFormat
+	t       []float32 // fp32:  t[i*out+j] = w[j][i]
+	t16     []uint16  // bf16:  same layout, bfloat16 cells
+	t8      []int8    // int8:  same layout, quantized cells
+	scale   []float32 // int8: per-column dequantization scale
+	inv     []float32 // int8: per-column 1/scale for writes
 }
 
-// NewMirror allocates an unfilled in×out mirror; call Rebuild to populate
-// it.
+// NewMirror allocates an unfilled exact (fp32) in×out mirror; call
+// Rebuild to populate it.
 func NewMirror(in, out int) *Mirror {
-	return &Mirror{in: in, out: out, t: make([]float32, in*out)}
+	return NewMirrorFormat(in, out, MirrorFP32, nil)
 }
 
-// Col returns input column i's contiguous weight slice (length out).
+// NewMirrorFormat allocates an unfilled in×out mirror in the given
+// format. When ar is non-nil the backing slab comes from it as one
+// cache-line-aligned arena allocation; otherwise from the heap.
+func NewMirrorFormat(in, out int, format MirrorFormat, ar *arena.Arena) *Mirror {
+	m := &Mirror{in: in, out: out, format: format}
+	n := in * out
+	switch format {
+	case MirrorFP32:
+		if ar != nil {
+			m.t = ar.AllocAligned(n)
+		} else {
+			m.t = make([]float32, n)
+		}
+	case MirrorBF16:
+		if ar != nil {
+			m.t16 = ar.AllocUint16(n)
+		} else {
+			m.t16 = make([]uint16, n)
+		}
+	case MirrorInt8:
+		if ar != nil {
+			m.t8 = ar.AllocInt8(n)
+			m.scale = ar.AllocAligned(in)
+			m.inv = ar.AllocAligned(in)
+		} else {
+			m.t8 = make([]int8, n)
+			m.scale = make([]float32, in)
+			m.inv = make([]float32, in)
+		}
+	default:
+		panic(fmt.Sprintf("kernels: unknown mirror format %v", format))
+	}
+	return m
+}
+
+// Format returns the mirror's storage format.
+func (m *Mirror) Format() MirrorFormat { return m.format }
+
+// Col returns input column i's contiguous weight slice (length out). Only
+// valid on fp32 mirrors; quantized formats are read through their own
+// kernels (ScatterForward) or cell-wise through At.
 func (m *Mirror) Col(i int32) []float32 {
 	off := int(i) * m.out
 	return m.t[off : off+m.out : off+m.out]
 }
 
-// Set stores neuron j's weight for input i.
+// Set stores neuron j's weight for input i, encoding per the format.
 func (m *Mirror) Set(j, i int32, v float32) {
-	m.t[int(i)*m.out+int(j)] = v
+	switch m.format {
+	case MirrorFP32:
+		m.t[int(i)*m.out+int(j)] = v
+	case MirrorBF16:
+		m.t16[int(i)*m.out+int(j)] = vecmath.BF16FromF32(v)
+	case MirrorInt8:
+		q := v * m.inv[i]
+		switch {
+		case q > 127:
+			q = 127
+		case q < -127:
+			q = -127
+		}
+		m.t8[int(i)*m.out+int(j)] = int8(roundHalfAway(q))
+	}
+}
+
+// At decodes neuron j's stored weight for input i — the format-agnostic
+// read the coherence tests use.
+func (m *Mirror) At(j, i int32) float32 {
+	off := int(i)*m.out + int(j)
+	switch m.format {
+	case MirrorBF16:
+		return vecmath.F32FromBF16(m.t16[off])
+	case MirrorInt8:
+		return float32(m.t8[off]) * m.scale[i]
+	default:
+		return m.t[off]
+	}
+}
+
+func roundHalfAway(q float32) int32 {
+	if q >= 0 {
+		return int32(q + 0.5)
+	}
+	return int32(q - 0.5)
 }
 
 // Rebuild repopulates the mirror from neuron-major rows (len(rows) = out,
 // each of length in). Used at initialization and after bulk weight
-// restores (model loads).
+// restores (model loads). Int8 mirrors re-derive each column's scale here
+// from its max |w| with 2x headroom.
 func (m *Mirror) Rebuild(rows [][]float32) {
 	if len(rows) != m.out {
 		panic(fmt.Sprintf("kernels: Rebuild with %d rows, mirror has %d", len(rows), m.out))
@@ -176,8 +299,29 @@ func (m *Mirror) Rebuild(rows [][]float32) {
 		if len(row) < m.in {
 			panic(fmt.Sprintf("kernels: Rebuild row %d has %d weights, mirror fan-in is %d", j, len(row), m.in))
 		}
+	}
+	if m.format == MirrorInt8 {
 		for i := 0; i < m.in; i++ {
-			m.t[i*m.out+j] = row[i]
+			var maxAbs float32
+			for _, row := range rows {
+				a := row[i]
+				if a < 0 {
+					a = -a
+				}
+				if a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 {
+				maxAbs = 1e-8
+			}
+			m.scale[i] = maxAbs * int8Headroom / 127
+			m.inv[i] = 1 / m.scale[i]
+		}
+	}
+	for j, row := range rows {
+		for i := 0; i < m.in; i++ {
+			m.Set(int32(j), int32(i), row[i])
 		}
 	}
 }
@@ -249,8 +393,21 @@ func rowDot(b float32, w []float32, inIds []int32, inVals []float32, inFull, rel
 // rounding (the equivalence tests bound the difference, not the bits).
 func ScatterForward(dst []float32, m *Mirror, b []float32, inIds []int32, inVals []float32, relu bool) {
 	copy(dst, b[:len(dst)])
-	for t, i := range inIds {
-		vecmath.Axpy(inVals[t], m.Col(i), dst)
+	switch m.format {
+	case MirrorBF16:
+		for t, i := range inIds {
+			off := int(i) * m.out
+			vecmath.AxpyBF16(inVals[t], m.t16[off:off+m.out:off+m.out], dst)
+		}
+	case MirrorInt8:
+		for t, i := range inIds {
+			off := int(i) * m.out
+			vecmath.AxpyInt8(inVals[t]*m.scale[i], m.t8[off:off+m.out:off+m.out], dst)
+		}
+	default:
+		for t, i := range inIds {
+			vecmath.Axpy(inVals[t], m.Col(i), dst)
+		}
 	}
 	if relu {
 		vecmath.ReLU(dst)

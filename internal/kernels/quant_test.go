@@ -1,0 +1,172 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+func randRows(r *rng.RNG, in, out int) [][]float32 {
+	rows := make([][]float32, out)
+	for j := range rows {
+		rows[j] = make([]float32, in)
+		for i := range rows[j] {
+			rows[j][i] = r.NormFloat32()
+		}
+	}
+	return rows
+}
+
+// TestMirrorFormatCoherence: for every format, a Rebuild followed by
+// random dual-writes must leave At reading exactly what the format's
+// encoder stores for the current row value.
+func TestMirrorFormatCoherence(t *testing.T) {
+	const in, out = 29, 17
+	for _, format := range []MirrorFormat{MirrorFP32, MirrorBF16, MirrorInt8} {
+		t.Run(format.String(), func(t *testing.T) {
+			r := rng.New(21)
+			rows := randRows(r, in, out)
+			for _, ar := range []*arena.Arena{nil, arena.New(0)} {
+				m := NewMirrorFormat(in, out, format, ar)
+				m.Rebuild(rows)
+				for step := 0; step < 400; step++ {
+					j, i := int32(r.Intn(out)), int32(r.Intn(in))
+					v := r.NormFloat32()
+					rows[j][i] = v
+					m.Set(j, i, v)
+				}
+				for j := int32(0); int(j) < out; j++ {
+					for i := int32(0); int(i) < in; i++ {
+						v, got := rows[j][i], m.At(j, i)
+						switch format {
+						case MirrorFP32:
+							if got != v {
+								t.Fatalf("fp32 At(%d,%d) = %v, want %v", j, i, got, v)
+							}
+						case MirrorBF16:
+							if want := vecmath.F32FromBF16(vecmath.BF16FromF32(v)); got != want {
+								t.Fatalf("bf16 At(%d,%d) = %v, want %v", j, i, got, want)
+							}
+						case MirrorInt8:
+							// One quantization step is scale; round-half-away
+							// keeps the cell within half a step of the value
+							// (unless saturated, which these draws avoid
+							// only probabilistically — allow the clamp).
+							scale := float64(m.scale[i])
+							if err := math.Abs(float64(got - v)); err > scale/2+1e-6 && math.Abs(float64(got)) < 127*scale-1e-6 {
+								t.Fatalf("int8 At(%d,%d) = %v, want %v ± %v", j, i, got, v, scale/2)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInt8MirrorScaleAndSaturation pins the Rebuild scale derivation
+// (max|w| × 2 headroom / 127 per column) and the saturating Set: writes
+// past the representable range clamp to ±127 cells instead of wrapping.
+func TestInt8MirrorScaleAndSaturation(t *testing.T) {
+	const in, out = 3, 4
+	rows := [][]float32{{1, -2, 0}, {0.5, 1, 0}, {-1, 0.25, 0}, {0.75, -0.5, 0}}
+	m := NewMirrorFormat(in, out, MirrorInt8, nil)
+	m.Rebuild(rows)
+
+	if want := float32(1.0 * int8Headroom / 127); m.scale[0] != want {
+		t.Fatalf("column 0 scale = %v, want %v", m.scale[0], want)
+	}
+	if want := float32(2.0 * int8Headroom / 127); m.scale[1] != want {
+		t.Fatalf("column 1 scale = %v, want %v", m.scale[1], want)
+	}
+	// All-zero column gets the 1e-8 floor, not a division by zero.
+	if m.scale[2] <= 0 || math.IsInf(float64(m.inv[2]), 0) {
+		t.Fatalf("zero column scale/inv = %v / %v", m.scale[2], m.inv[2])
+	}
+
+	// Within headroom the write resolves; at 10x the column max it clamps.
+	m.Set(0, 0, 1.9)
+	if got := m.At(0, 0); math.Abs(float64(got-1.9)) > float64(m.scale[0])/2+1e-6 {
+		t.Fatalf("in-headroom write decoded to %v", got)
+	}
+	m.Set(0, 0, 10)
+	if got, lim := m.At(0, 0), 127*m.scale[0]; got != lim {
+		t.Fatalf("saturating write decoded to %v, want clamp %v", got, lim)
+	}
+	m.Set(0, 0, -10)
+	if got, lim := m.At(0, 0), -127*m.scale[0]; got != lim {
+		t.Fatalf("negative saturating write decoded to %v, want clamp %v", got, lim)
+	}
+}
+
+// TestScatterForwardQuantizedTolerance: the quantized mirrors' scatter
+// kernels must track the fp32 scatter within their formats' error budgets
+// — bf16 at 2⁻⁸ per weight, int8 at its per-column step — on the shape the
+// first hidden layer runs (sparse input, full output).
+func TestScatterForwardQuantizedTolerance(t *testing.T) {
+	const in, out, nnz = 512, 96, 40
+	r := rng.New(33)
+	rows := randRows(r, in, out)
+	b := make([]float32, out)
+	inIds := make([]int32, nnz)
+	inVals := make([]float32, nnz)
+	for t2 := range inIds {
+		inIds[t2] = int32((t2 * 13) % in)
+		inVals[t2] = r.NormFloat32()
+	}
+
+	ref := make([]float32, out)
+	f32 := NewMirror(in, out)
+	f32.Rebuild(rows)
+	ScatterForward(ref, f32, b, inIds, inVals, false)
+
+	// bf16: 2⁻⁸ relative per weight, loose fixed bound. int8: each cell is
+	// within half a quantization step, so output j can drift by at most
+	// Σ_t |inVals[t]|·scale[inIds[t]]/2 — the exact worst-case bound.
+	bf16 := NewMirrorFormat(in, out, MirrorBF16, nil)
+	bf16.Rebuild(rows)
+	dst := make([]float32, out)
+	ScatterForward(dst, bf16, b, inIds, inVals, false)
+	for j := range ref {
+		if !withinTol(float64(dst[j]), float64(ref[j]), 2e-2) {
+			t.Fatalf("bf16 scatter[%d] = %v, fp32 = %v", j, dst[j], ref[j])
+		}
+	}
+
+	i8 := NewMirrorFormat(in, out, MirrorInt8, nil)
+	i8.Rebuild(rows)
+	var bound float64
+	for t2, i := range inIds {
+		bound += math.Abs(float64(inVals[t2])) * float64(i8.scale[i]) / 2
+	}
+	clear(dst)
+	ScatterForward(dst, i8, b, inIds, inVals, false)
+	for j := range ref {
+		if err := math.Abs(float64(dst[j] - ref[j])); err > bound+1e-6 {
+			t.Fatalf("int8 scatter[%d] = %v, fp32 = %v: error %v exceeds bound %v", j, dst[j], ref[j], err, bound)
+		}
+	}
+}
+
+// TestCalibratedCrossoverBoundsAndStability: the measured crossover must
+// land inside the clamp window and be cached across calls.
+func TestCalibratedCrossoverBounds(t *testing.T) {
+	c := CalibratedCrossover()
+	if c < calibMin || c > calibMax {
+		t.Fatalf("calibrated crossover %v outside [%v, %v]", c, calibMin, calibMax)
+	}
+	if again := CalibratedCrossover(); again != c {
+		t.Fatalf("second call returned %v, first %v", again, c)
+	}
+}
+
+func TestMirrorFormatString(t *testing.T) {
+	for f, want := range map[MirrorFormat]string{MirrorFP32: "fp32", MirrorBF16: "bf16", MirrorInt8: "int8"} {
+		if f.String() != want {
+			t.Errorf("MirrorFormat(%d).String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}
