@@ -61,6 +61,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "data-parallel replicas exchanging sparse gradient deltas per batch")
 		distAddr  = flag.String("dist", "", "TCP exchange address for multi-process sharding (rank 0 listens, others dial)")
 		rank      = flag.Int("rank", 0, "this process's replica rank when -dist is set")
+		compress  = flag.String("compress", "fp32", "delta compression: fp32|bf16|topk:<frac> (topk keeps the largest-|g| fraction with error feedback)")
+		overlap   = flag.Bool("overlap", false, "hide the delta exchange behind the next batch's forward pass (one-step-stale forwards)")
 	)
 	flag.Parse()
 
@@ -132,9 +134,17 @@ func main() {
 				},
 			},
 		}
+		cm, frac, err := slide.ParseCompression(*compress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if (cm != slide.CompressFP32 || *overlap) && *shards <= 1 && *distAddr == "" {
+			log.Fatal("-compress/-overlap need sharded training (-shards > 1 or -dist)")
+		}
 		tc := slide.TrainConfig{
 			BatchSize: *batch, Epochs: *epochs, Threads: *threads,
 			EvalEvery: *evalEvery, Seed: *seed, OnEval: onEval,
+			Compress: cm, TopKFrac: frac, OverlapExchange: *overlap,
 		}
 
 		var net *slide.Network
@@ -199,16 +209,17 @@ func trainTCPShard(ds *dataset.Dataset, cfg slide.Config, tc slide.TrainConfig, 
 	if err != nil {
 		log.Fatal(err)
 	}
-	codec := dist.NewCodec(net)
+	codec := dist.NewCodecFormat(net, dist.FormatFor(tc.Compress))
 
 	// The shared schedule derivation keeps every process on the same
 	// batch size and iteration count — ranks on different schedules
 	// would desync the exchange barrier — and the digest lets the
-	// handshake refuse a rank launched with different flags outright.
+	// handshake refuse a rank launched with different flags (including a
+	// mismatched -compress) outright.
 	shard := dist.ShardExamples(ds.Train, rank, shards)
 	baseSeed := tc.Seed
 	tc = dist.ShardTrainConfig(tc, len(ds.Train), rank, shards)
-	digest := dist.ScheduleDigest(cfg, tc.BatchSize, tc.Iterations, baseSeed)
+	digest := dist.ScheduleDigest(cfg, tc, baseSeed)
 
 	type statser interface {
 		Stats() dist.ExchangeStats
@@ -268,9 +279,13 @@ func reportExchange(net *slide.Network, res *slide.TrainResult, st dist.Exchange
 	}
 	sent, recv := st.BytesOutPerRound(), st.BytesInPerRound()
 	dense := float64(net.NumParams()) * 4
-	fmt.Printf("exchange: %.1f KiB/iter sent, %.1f KiB/iter received (dense sync %.1f MiB/iter, %.0fx reduction; %.0f%% of train time)\n",
+	fmt.Printf("exchange: %.1f KiB/iter sent, %.1f KiB/iter received (dense sync %.1f MiB/iter, %.0fx reduction; %.0f%% of train time blocked)\n",
 		sent/1024, recv/1024, dense/(1<<20), dense/max(min(sent, recv), 1),
 		100*float64(res.ExchangeNS)/1e9/max(res.Seconds, 1e-9))
+	if res.ExchangeHiddenNS > 0 {
+		fmt.Printf("overlap: %.2fs of exchange hidden behind forward passes (%.2fs still blocking)\n",
+			float64(res.ExchangeHiddenNS)/1e9, float64(res.ExchangeNS)/1e9)
+	}
 }
 
 func saveModel(net *slide.Network, path string) {

@@ -28,8 +28,17 @@ import (
 // In ModeBatchSync the element's active sets and deltas are captured into
 // rec instead and accumulated deterministically after the batch.
 func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, rec *elemRecord) float64 {
+	return n.backwardFrom(st, st.layers, x, labels, rec)
+}
+
+// backwardFrom is backwardElem over an explicit activation source: layers
+// is normally the worker's own st.layers, but the OverlapExchange
+// pipeline passes a fwdCapture's copy so the backward pass can run after
+// the worker state was reused by the next batch's forward. st still
+// supplies the worker-owned accumulator workspace and gradient shards.
+func (n *Network) backwardFrom(st *elemState, layers []layerState, x sparse.Vector, labels []int32, rec *elemRecord) float64 {
 	last := len(n.layers) - 1
-	loss := outputDeltaAndLoss(&st.layers[last], labels)
+	loss := outputDeltaAndLoss(&layers[last], labels)
 	if rec != nil {
 		rec.reset(len(n.layers))
 	}
@@ -39,7 +48,7 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 	}
 	for li := last; li >= 0; li-- {
 		l := n.layers[li]
-		ls := &st.layers[li]
+		ls := &layers[li]
 
 		// The layer input view: the previous layer's active state, or
 		// the example's sparse features for the first layer.
@@ -47,7 +56,7 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 		inVals := x.Val
 		inFull := false
 		if li > 0 {
-			prev := &st.layers[li-1]
+			prev := &layers[li-1]
 			inIds = prev.ids
 			inVals = prev.vals
 			inFull = prev.full
@@ -74,7 +83,7 @@ func (n *Network) backwardElem(st *elemState, x sparse.Vector, labels []int32, r
 		}
 
 		if li > 0 {
-			prev := &st.layers[li-1]
+			prev := &layers[li-1]
 			prev.delta = prev.delta[:len(prev.vals)]
 			reluPrev := n.layers[li-1].cfg.Activation == ActReLU
 			for t := range prev.delta {

@@ -355,6 +355,34 @@ type TrainConfig struct {
 	// internal/dist for the in-process and TCP implementations.
 	Exchanger DeltaExchanger
 
+	// Compress selects the wire representation of the exchanged delta
+	// (ignored without an Exchanger): exact fp32 (the default), bf16
+	// values, or top-k selection with error feedback. All shards must
+	// agree — the TCP handshake digest covers it, and the in-process
+	// Mesh applies the same rounding — because a merged delta computed
+	// from mixed representations would diverge the replicas' weights.
+	Compress DeltaCompression
+	// TopKFrac is the fraction of each layer's fresh batch gradient
+	// cells CompressTopK ships, in (0, 1]; the rest feed the
+	// per-replica error-feedback residual, which re-competes whenever
+	// its cells are next touched. Ignored for other compression modes.
+	TopKFrac float64
+
+	// OverlapExchange hides the delta exchange behind the next batch's
+	// forward pass (the §6 communication made invisible): each batch
+	// extracts its delta and launches the exchange on a background
+	// goroutine, the next batch's forward runs concurrently — it reads
+	// weights and tables but never gW, and no weights step mid-flight —
+	// and the merged delta is applied at a barrier before that batch's
+	// backward pass. Forward passes therefore see weights one merged
+	// step stale (the classic one-batch pipeline delay); the exchange
+	// step sequence is unchanged, so overlapped and synchronous replicas
+	// may share a group and stay in lockstep. TrainResult.ExchangeNS
+	// then counts only the barrier time the forward failed to hide, with
+	// the overlapped remainder in ExchangeHiddenNS. Ignored without an
+	// Exchanger.
+	OverlapExchange bool
+
 	// SkipFinalEval suppresses the evaluation Train normally runs at
 	// loop exit. Data-parallel replicas other than rank 0 set it: their
 	// weights are bit-identical to rank 0's, so N final evaluations of

@@ -52,6 +52,33 @@ func (ls *layerState) sizeVals(n int) {
 	ls.vals = ls.vals[:n]
 }
 
+// fwdCapture retains one batch element's forward activations so its
+// backward pass can run after the capturing worker's layer state was
+// reused by the next batch's forward — the OverlapExchange pipeline,
+// where forward(t+1) executes before backward(t). captureFrom deep-copies
+// each layer's active ids, activations and density flag, and reserves
+// delta capacity for the backward pass to fill in place.
+type fwdCapture struct {
+	layers []layerState
+}
+
+func (c *fwdCapture) captureFrom(src []layerState) {
+	if cap(c.layers) < len(src) {
+		c.layers = make([]layerState, len(src))
+	}
+	c.layers = c.layers[:len(src)]
+	for i := range src {
+		s, d := &src[i], &c.layers[i]
+		d.full = s.full
+		d.ids = append(d.ids[:0], s.ids...)
+		d.vals = append(d.vals[:0], s.vals...)
+		if cap(d.delta) < len(s.vals) {
+			d.delta = make([]float32, 0, len(s.vals))
+		}
+		d.delta = d.delta[:0]
+	}
+}
+
 // elemState is the per-worker compute state reused across batch elements.
 // Nothing in it is shared between workers; the only cross-worker writes
 // during training are the weight updates themselves (§3.1's HOGWILD

@@ -51,10 +51,17 @@ type TrainResult struct {
 	// gradient per iteration — the sparse payload a distributed replica
 	// would communicate, vs NumParams for a dense synchronization (§6).
 	TouchedPerIter float64
-	// ExchangeNS is the nanoseconds the training loop spent blocked in
+	// ExchangeNS is the nanoseconds the training loop spent blocked on
 	// DeltaExchanger.Exchange — serialization, transport and the peer
-	// barrier — included in Seconds. Zero for single-process runs.
+	// barrier — included in Seconds. Zero for single-process runs. With
+	// OverlapExchange it is only the barrier wait the next batch's
+	// forward pass failed to hide.
 	ExchangeNS int64
+	// ExchangeHiddenNS is exchange time that ran concurrently with the
+	// next batch's forward pass under OverlapExchange (zero otherwise) —
+	// the communication the pipeline made invisible, the RebuildBuildNS
+	// analog for the delta exchange.
+	ExchangeHiddenNS int64
 	// KernelForwards counts forward kernel executions by chosen form
 	// ("gather", "scatter", "legacy") across the run — the
 	// density-adaptive engine's decision record, one count per (layer,
@@ -88,6 +95,14 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 	if sc, ok := tc.Exchanger.(ShardCounter); ok && sc.Shards() != tc.Shards {
 		return nil, fmt.Errorf("core: TrainConfig.Shards = %d but the exchanger's group has %d: the merged Adam step would be mis-averaged", tc.Shards, sc.Shards())
 	}
+	if tc.Compress < CompressFP32 || tc.Compress > CompressTopK {
+		return nil, fmt.Errorf("core: unknown delta compression %d", int(tc.Compress))
+	}
+	if tc.Compress == CompressTopK && !(tc.TopKFrac > 0 && tc.TopKFrac <= 1) {
+		return nil, fmt.Errorf("core: TopKFrac must be in (0, 1] for topk compression, got %g", tc.TopKFrac)
+	}
+	ex := tc.Exchanger
+	overlap := tc.OverlapExchange && ex != nil
 	workers := tc.Threads
 
 	states := make([]*elemState, workers)
@@ -112,13 +127,26 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		}
 	}
 
+	// Overlap mode splits the fused forward+backward element pass in two
+	// phases; captures park each element's forward activations between
+	// them (the capturing worker's layer state is reused by the next
+	// batch's forward before the backward runs).
+	var caps []*fwdCapture
+	if overlap {
+		caps = make([]*fwdCapture, tc.BatchSize)
+		for i := range caps {
+			caps[i] = &fwdCapture{}
+		}
+	}
+
 	// Persistent worker pool: every batch is announced to all workers
 	// (one message per worker), and workers grab batch elements through a
 	// shared atomic cursor so stragglers self-balance (§3.1: one thread
 	// per batch element, private state, shared weights).
 	type batchJob struct {
-		idxs []int
-		done *sync.WaitGroup
+		idxs  []int
+		done  *sync.WaitGroup
+		phase trainPhase
 	}
 	jobs := make(chan batchJob, workers)
 	var cursor atomic.Int64
@@ -134,17 +162,29 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 					if k >= len(job.idxs) {
 						break
 					}
-					ex := &train[job.idxs[k]]
+					exm := &train[job.idxs[k]]
 					var rec *elemRecord
 					if records != nil {
 						rec = records[k]
 					}
 					t0 := nowNano()
-					n.forwardElem(st, ex.Features, ex.Labels, modeTrain)
-					loss := n.backwardElem(st, ex.Features, ex.Labels, rec)
-					st.busyNS += nowNano() - t0
-					st.lossSum += loss
-					st.lossCount++
+					switch job.phase {
+					case phaseForward:
+						n.forwardElem(st, exm.Features, exm.Labels, modeTrain)
+						caps[k].captureFrom(st.layers)
+						st.busyNS += nowNano() - t0
+					case phaseBackward:
+						loss := n.backwardFrom(st, caps[k].layers, exm.Features, exm.Labels, rec)
+						st.busyNS += nowNano() - t0
+						st.lossSum += loss
+						st.lossCount++
+					default: // phaseFused
+						n.forwardElem(st, exm.Features, exm.Labels, modeTrain)
+						loss := n.backwardElem(st, exm.Features, exm.Labels, rec)
+						st.busyNS += nowNano() - t0
+						st.lossSum += loss
+						st.lossCount++
+					}
 				}
 				job.done.Done()
 			}
@@ -181,14 +221,75 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		return p1
 	}
 
+	runPhase := func(phase trainPhase, batch []int) {
+		cursor.Store(0)
+		done.Add(workers)
+		for w := 0; w < workers; w++ {
+			jobs <- batchJob{idxs: batch, done: &done, phase: phase}
+		}
+		done.Wait()
+	}
+
 	var ctxErr error
 	// wantStop marks a local stop condition (cancellation, target
 	// accuracy, deadline) in a sharded run; it is carried to the peers by
 	// the next exchange, and stopAll — any shard wanting to stop — breaks
 	// every replica after the same applied batch.
 	var wantStop, stopAll bool
-	ex := tc.Exchanger
 	start := n.step
+
+	// Overlap-mode exchange pipeline: launch fires the exchange for the
+	// just-extracted delta on a background goroutine (capturing this
+	// step's Adam alpha — the merged delta belongs to the step it was
+	// extracted at, however late it is applied); settle is the barrier
+	// that joins it, splits its wall-clock into blocked vs hidden time,
+	// and applies the merged delta.
+	invB := 1 / float32(tc.BatchSize*tc.Shards)
+	var pend *pendingExchange
+	launch := func(d *SparseDelta, stop bool) *pendingExchange {
+		p := &pendingExchange{
+			ch:    make(chan exchangeResult, 1),
+			alpha: n.adam.Alpha(n.step + 1),
+			step:  n.step,
+		}
+		run := func() {
+			x0 := nowNano()
+			merged, all, err := ex.Exchange(p.step, d, stop)
+			p.ch <- exchangeResult{merged: merged, stopAll: all, err: err, durNS: nowNano() - x0}
+		}
+		if testOverlapSyncJoin {
+			run()
+		} else {
+			go run()
+			// Hand the CPU to the exchange goroutine so its deposit (and
+			// a TCP exchanger's frame write) lands BEFORE the next
+			// forward starts. On a saturated or single-core machine the
+			// goroutine would otherwise not be scheduled until settle
+			// blocks — serializing the exchange after the forward and
+			// hiding nothing.
+			runtime.Gosched()
+		}
+		return p
+	}
+	settle := func() (bool, error) {
+		p := pend
+		pend = nil
+		b0 := nowNano()
+		r := <-p.ch
+		blocked := nowNano() - b0
+		res.ExchangeNS += blocked
+		if hidden := r.durNS - blocked; hidden > 0 {
+			res.ExchangeHiddenNS += hidden
+		}
+		if r.err != nil {
+			return false, fmt.Errorf("core: delta exchange at step %d: %w", p.step, r.err)
+		}
+		if _, err := n.ApplyDelta(r.merged, p.alpha, invB, workers); err != nil {
+			return false, err
+		}
+		return r.stopAll, nil
+	}
+
 	for n.step-start < tc.Iterations {
 		if err := ctx.Err(); err != nil {
 			ctxErr = err
@@ -205,25 +306,54 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		pos += tc.BatchSize
 
 		t0 := nowNano()
-		alpha := n.adam.Alpha(n.step + 1)
-		n.beginBatch()
-		cursor.Store(0)
-		done.Add(workers)
-		for w := 0; w < workers; w++ {
-			jobs <- batchJob{idxs: batch, done: &done}
-		}
-		done.Wait()
-		if records != nil {
-			n.accumulateBatchSync(records, workers)
-		}
-		if ex == nil {
-			n.applyAdamBatch(alpha, 1/float32(len(batch)), workers)
+		if overlap {
+			// Pipelined step: the forward runs while the previous
+			// batch's exchange is in flight (it never reads gW, and no
+			// weights step until the barrier below), then the merged
+			// delta lands before backward — which does read weights —
+			// needs the replicas realigned.
+			runPhase(phaseForward, batch)
+			if pend != nil {
+				var sErr error
+				stopAll, sErr = settle()
+				if sErr != nil {
+					ctxErr = sErr
+					trainNS += nowNano() - t0
+					break
+				}
+				if stopAll {
+					trainNS += nowNano() - t0
+					break
+				}
+			}
+			n.beginBatch()
+			runPhase(phaseBackward, batch)
+			if records != nil {
+				n.accumulateBatchSync(records, workers)
+			}
+			d := n.ExtractDelta(n.deltaScratch, workers)
+			n.deltaScratch = d
+			if tc.Compress == CompressTopK {
+				d = n.compressTopK(d, tc.TopKFrac)
+			}
+			n.touchedWeights += d.Cells()
+			pend = launch(d, wantStop)
 		} else {
-			var exErr error
-			stopAll, exErr = n.exchangeAndApply(ex, wantStop, alpha, len(batch), tc.Shards, workers, res)
-			if exErr != nil {
-				ctxErr = exErr
-				break
+			alpha := n.adam.Alpha(n.step + 1)
+			n.beginBatch()
+			runPhase(phaseFused, batch)
+			if records != nil {
+				n.accumulateBatchSync(records, workers)
+			}
+			if ex == nil {
+				n.applyAdamBatch(alpha, 1/float32(len(batch)), workers)
+			} else {
+				var exErr error
+				stopAll, exErr = n.exchangeAndApply(ex, wantStop, alpha, len(batch), tc, workers, res)
+				if exErr != nil {
+					ctxErr = exErr
+					break
+				}
 			}
 		}
 		n.step++
@@ -241,6 +371,22 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 		}
 
 		if tc.EvalEvery > 0 && (n.step-start)%tc.EvalEvery == 0 {
+			// An overlapped exchange still in flight belongs to the step
+			// being evaluated; join it first so the eval sees the same
+			// weights a synchronous replica would.
+			if pend != nil {
+				s0 := nowNano()
+				var sErr error
+				stopAll, sErr = settle()
+				trainNS += nowNano() - s0
+				if sErr != nil {
+					ctxErr = sErr
+					break
+				}
+				if stopAll {
+					break
+				}
+			}
 			p1 := evalNow()
 			if tc.TargetAcc > 0 && p1 >= tc.TargetAcc {
 				if ex == nil {
@@ -255,6 +401,18 @@ func (n *Network) TrainContext(ctx context.Context, train, test []dataset.Exampl
 			}
 			wantStop = true
 		}
+	}
+
+	// Join and apply any exchange still in flight (iterations exhausted,
+	// or a break between launch and the next barrier): the group merged
+	// that round on every replica, so skipping the apply would desync
+	// this one's weights.
+	if pend != nil {
+		s0 := nowNano()
+		if _, err := settle(); err != nil && ctxErr == nil {
+			ctxErr = err
+		}
+		trainNS += nowNano() - s0
 	}
 
 	// A background shadow build may still be in flight when the loop
@@ -303,14 +461,49 @@ func drainKernelForms(states []*elemState) map[string]int64 {
 	return out
 }
 
+// trainPhase selects what a worker does with a dispatched batch: the
+// default fused forward+backward pass, or one half of the OverlapExchange
+// pipeline's split step.
+type trainPhase uint8
+
+const (
+	phaseFused trainPhase = iota
+	phaseForward
+	phaseBackward
+)
+
+// pendingExchange is one in-flight overlapped delta exchange: the
+// background goroutine's result channel plus the step and Adam alpha the
+// merged delta must be applied with.
+type pendingExchange struct {
+	ch    chan exchangeResult
+	alpha float32
+	step  int64
+}
+
+type exchangeResult struct {
+	merged  *SparseDelta
+	stopAll bool
+	err     error
+	durNS   int64 // wall-clock inside Exchange, for blocked-vs-hidden split
+}
+
+// testOverlapSyncJoin makes launch run the exchange inline instead of on
+// a goroutine — the overlap pipeline with zero asynchrony. Tests flip it
+// to pin that the background execution itself changes nothing.
+var testOverlapSyncJoin bool
+
 // exchangeAndApply is one sharded batch's update phase: extract the local
-// SparseDelta, exchange it for the group's merged delta, and apply the
-// merged step averaged over the global batch (BatchSize*Shards). The
-// returned stopAll reports whether any shard requested a coordinated stop
-// this round.
-func (n *Network) exchangeAndApply(ex DeltaExchanger, wantStop bool, alpha float32, batch, shards, workers int, res *TrainResult) (bool, error) {
+// SparseDelta, compress it if configured, exchange it for the group's
+// merged delta, and apply the merged step averaged over the global batch
+// (BatchSize*Shards). The returned stopAll reports whether any shard
+// requested a coordinated stop this round.
+func (n *Network) exchangeAndApply(ex DeltaExchanger, wantStop bool, alpha float32, batch int, tc TrainConfig, workers int, res *TrainResult) (bool, error) {
 	d := n.ExtractDelta(n.deltaScratch, workers)
 	n.deltaScratch = d
+	if tc.Compress == CompressTopK {
+		d = n.compressTopK(d, tc.TopKFrac)
+	}
 	n.touchedWeights += d.Cells()
 	x0 := nowNano()
 	merged, stopAll, err := ex.Exchange(n.step, d, wantStop)
@@ -318,7 +511,7 @@ func (n *Network) exchangeAndApply(ex DeltaExchanger, wantStop bool, alpha float
 	if err != nil {
 		return false, fmt.Errorf("core: delta exchange at step %d: %w", n.step, err)
 	}
-	if _, err := n.ApplyDelta(merged, alpha, 1/float32(batch*shards), workers); err != nil {
+	if _, err := n.ApplyDelta(merged, alpha, 1/float32(batch*tc.Shards), workers); err != nil {
 		return false, err
 	}
 	return stopAll, nil

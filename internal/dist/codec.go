@@ -8,8 +8,8 @@
 // The package provides three layers:
 //
 //   - Codec: a compact binary wire format for core.SparseDelta —
-//     varint-delta row/column ids, raw float32 gradients — with full
-//     validation against the network's layer shapes on decode.
+//     varint-delta row/column ids, fp32 or bf16 gradient values — with
+//     full validation against the network's layer shapes on decode.
 //   - Exchangers: core.DeltaExchanger implementations. Mesh is the
 //     in-process all-reduce for N replicas in one process (and, with one
 //     shard, a loopback measurement tap); TCPServer/TCPClient are the
@@ -25,52 +25,146 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/vecmath"
 )
 
 // codecVersion identifies the wire format; bump on incompatible change.
-const codecVersion = 1
+// v2 added the value-format byte (fp32/bf16/topk) after the magic.
+const codecVersion = 2
 
 // codecMagic opens every encoded delta ("SDL" + version).
 var codecMagic = [4]byte{'S', 'D', 'L', '0' + codecVersion}
 
-// Codec encodes and decodes SparseDeltas for a fixed network shape. The
-// per-layer (neurons, fan-in) dimensions bound every id on decode, so a
-// malformed or hostile payload is rejected rather than applied.
+// ValueFormat selects how a codec carries gradient values and biases on
+// the wire. It is negotiated out of band (TrainConfig.Compress, covered
+// by the TCP handshake digest) and stamped into every frame; a decoder
+// built for one format rejects frames carrying another, so replicas with
+// mismatched compression fail loudly instead of merging garbage.
+type ValueFormat uint8
+
+const (
+	// ValueFP32 carries exact little-endian float32 values — v1's
+	// payload, unchanged.
+	ValueFP32 ValueFormat = iota
+	// ValueBF16 carries values and biases as bfloat16 (2 bytes each,
+	// round-to-nearest-even via vecmath.BF16FromF32), halving value
+	// bytes.
+	ValueBF16
+	// ValueTopK carries exact float32 values like ValueFP32 but marks
+	// the payload as top-k selected with error feedback: the cells are a
+	// chosen subset, so a replica expecting the full gradient must not
+	// silently accept it.
+	ValueTopK
+)
+
+// String returns the flag spelling of the format.
+func (f ValueFormat) String() string {
+	switch f {
+	case ValueFP32:
+		return "fp32"
+	case ValueBF16:
+		return "bf16"
+	case ValueTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("ValueFormat(%d)", int(f))
+	}
+}
+
+// valBytes returns the wire size of one value or bias.
+func (f ValueFormat) valBytes() int {
+	if f == ValueBF16 {
+		return 2
+	}
+	return 4
+}
+
+// FormatFor maps a training-config compression mode to its wire format.
+func FormatFor(c core.DeltaCompression) ValueFormat {
+	switch c {
+	case core.CompressBF16:
+		return ValueBF16
+	case core.CompressTopK:
+		return ValueTopK
+	default:
+		return ValueFP32
+	}
+}
+
+// Codec encodes and decodes SparseDeltas for a fixed network shape and a
+// fixed value format. The per-layer (neurons, fan-in) dimensions bound
+// every id on decode, so a malformed or hostile payload is rejected
+// rather than applied.
 //
 // Wire format, all little-endian:
 //
 //	magic[4]
+//	format byte (ValueFormat)
 //	uvarint layerCount
 //	per layer:
 //	  uvarint rowCount
 //	  rowCount uvarints: first row id raw, then (diff-1) to the previous
 //	  rowCount uvarints: per-row cell counts
-//	  rowCount float32:  bias gradients (0 = no bias step)
+//	  rowCount values:   bias gradients (0 = no bias step)
 //	  per row: cell-count uvarints: first column raw, then (diff-1)
-//	  totalCells float32: gradient values, row-major
+//	  totalCells values: gradient values, row-major
 //
-// Row and column ids are strictly ascending (ExtractDelta and MergeDeltas
-// guarantee it), so the diff-1 encoding is total and most ids fit one or
-// two bytes at SLIDE's s² sparsity.
+// where a "value" is 4 bytes (fp32/topk) or 2 bytes (bf16). Row and
+// column ids are strictly ascending (ExtractDelta, MergeDeltas and the
+// top-k selection all guarantee it), so the diff-1 encoding is total and
+// most ids fit one or two bytes at SLIDE's s² sparsity.
 type Codec struct {
-	dims [][2]int32 // per layer: {out (rows), in (cols)}
+	dims   [][2]int32 // per layer: {out (rows), in (cols)}
+	format ValueFormat
 }
 
-// NewCodec builds a codec for the network's layer shapes.
+// NewCodec builds an exact-fp32 codec for the network's layer shapes.
 func NewCodec(n *core.Network) *Codec {
+	return NewCodecFormat(n, ValueFP32)
+}
+
+// NewCodecFormat builds a codec for the network's layer shapes carrying
+// values in the given wire format.
+func NewCodecFormat(n *core.Network, f ValueFormat) *Codec {
 	dims := make([][2]int32, n.NumLayers())
 	for i := range dims {
 		l := n.Layer(i)
 		dims[i] = [2]int32{int32(l.Out()), int32(l.In())}
 	}
-	return &Codec{dims: dims}
+	return &Codec{dims: dims, format: f}
+}
+
+// Format returns the codec's negotiated value format.
+func (c *Codec) Format() ValueFormat { return c.format }
+
+// Quantize rounds d's values and biases through the codec's wire
+// precision in place: for a bf16 codec every float becomes its bf16
+// representable value — exactly the transform an encode/decode round
+// trip applies — so an in-process exchanger (Mesh) produces the same
+// bits a TCP replica reads off the wire. fp32 and topk codecs carry
+// exact values; no-op. Rounding is idempotent, so quantizing an
+// already-quantized delta changes nothing.
+func (c *Codec) Quantize(d *core.SparseDelta) {
+	if c.format != ValueBF16 {
+		return
+	}
+	for li := range d.Layers {
+		ld := &d.Layers[li]
+		for i, v := range ld.Vals {
+			ld.Vals[i] = vecmath.F32FromBF16(vecmath.BF16FromF32(v))
+		}
+		for i, b := range ld.Bias {
+			ld.Bias[i] = vecmath.F32FromBF16(vecmath.BF16FromF32(b))
+		}
+	}
 }
 
 // EncodedSize returns the exact number of bytes AppendDelta would emit
 // for d — the measured per-batch communication payload, without
 // allocating the buffer.
 func (c *Codec) EncodedSize(d *core.SparseDelta) int {
-	size := len(codecMagic) + uvarintLen(uint64(len(d.Layers)))
+	vb := c.format.valBytes()
+	size := len(codecMagic) + 1 + uvarintLen(uint64(len(d.Layers)))
 	for li := range d.Layers {
 		ld := &d.Layers[li]
 		size += uvarintLen(uint64(len(ld.Rows)))
@@ -80,7 +174,7 @@ func (c *Codec) EncodedSize(d *core.SparseDelta) int {
 			size += uvarintLen(uint64(ld.RowOff[r+1] - ld.RowOff[r]))
 			prev = row
 		}
-		size += 4 * len(ld.Bias)
+		size += vb * len(ld.Bias)
 		for r := range ld.Rows {
 			prevCol := int32(-1)
 			for k := ld.RowOff[r]; k < ld.RowOff[r+1]; k++ {
@@ -88,9 +182,17 @@ func (c *Codec) EncodedSize(d *core.SparseDelta) int {
 				prevCol = ld.Cols[k]
 			}
 		}
-		size += 4 * len(ld.Vals)
+		size += vb * len(ld.Vals)
 	}
 	return size
+}
+
+// appendVal emits one value in the codec's wire format.
+func (c *Codec) appendVal(buf []byte, v float32) []byte {
+	if c.format == ValueBF16 {
+		return binary.LittleEndian.AppendUint16(buf, vecmath.BF16FromF32(v))
+	}
+	return binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 }
 
 // AppendDelta appends d's encoding to buf and returns the extended
@@ -102,6 +204,7 @@ func (c *Codec) AppendDelta(buf []byte, d *core.SparseDelta) ([]byte, error) {
 		return buf, fmt.Errorf("dist: encoding delta with %d layers, codec has %d", len(d.Layers), len(c.dims))
 	}
 	buf = append(buf, codecMagic[:]...)
+	buf = append(buf, byte(c.format))
 	buf = binary.AppendUvarint(buf, uint64(len(d.Layers)))
 	for li := range d.Layers {
 		ld := &d.Layers[li]
@@ -121,7 +224,7 @@ func (c *Codec) AppendDelta(buf []byte, d *core.SparseDelta) ([]byte, error) {
 			prev = row
 		}
 		for _, b := range ld.Bias {
-			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(b))
+			buf = c.appendVal(buf, b)
 		}
 		for r := range ld.Rows {
 			prevCol := int32(-1)
@@ -135,15 +238,17 @@ func (c *Codec) AppendDelta(buf []byte, d *core.SparseDelta) ([]byte, error) {
 			}
 		}
 		for _, v := range ld.Vals {
-			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+			buf = c.appendVal(buf, v)
 		}
 	}
 	return buf, nil
 }
 
 // DecodeDelta decodes buf into dst (reused when non-nil) with full
-// validation: magic, layer count, ascending in-range ids, span and
-// length consistency. The returned delta satisfies every ApplyDelta and
+// validation: magic, value format, layer count, ascending in-range ids,
+// span and length consistency. A frame carrying a different value format
+// than the codec was built for is rejected — compression is negotiated,
+// not sniffed. The returned delta satisfies every ApplyDelta and
 // MergeDeltas precondition.
 func (c *Codec) DecodeDelta(dst *core.SparseDelta, buf []byte) (*core.SparseDelta, error) {
 	if dst == nil {
@@ -156,6 +261,16 @@ func (c *Codec) DecodeDelta(dst *core.SparseDelta, buf []byte) (*core.SparseDelt
 	}
 	if magic != codecMagic {
 		return dst, fmt.Errorf("dist: bad delta magic %q", magic[:])
+	}
+	var fb [1]byte
+	if err := r.bytes(fb[:]); err != nil {
+		return dst, err
+	}
+	if f := ValueFormat(fb[0]); f != c.format {
+		if f > ValueTopK {
+			return dst, fmt.Errorf("dist: unknown value format %d", fb[0])
+		}
+		return dst, fmt.Errorf("dist: delta is %v but this group negotiated %v", f, c.format)
 	}
 	layers, err := r.uvarint()
 	if err != nil {
@@ -176,8 +291,19 @@ func (c *Codec) DecodeDelta(dst *core.SparseDelta, buf []byte) (*core.SparseDelt
 	return dst, nil
 }
 
+// readVal reads one value in the codec's wire format.
+func (c *Codec) readVal(r *reader) (float32, error) {
+	if c.format == ValueBF16 {
+		h, err := r.u16()
+		return vecmath.F32FromBF16(h), err
+	}
+	bits, err := r.u32()
+	return math.Float32frombits(bits), err
+}
+
 func (c *Codec) decodeLayer(r *reader, li int, ld *core.LayerDelta) error {
 	out, in := c.dims[li][0], c.dims[li][1]
+	vb := int64(c.format.valBytes())
 	nrU, err := r.uvarint()
 	if err != nil {
 		return err
@@ -221,19 +347,19 @@ func (c *Codec) decodeLayer(r *reader, li int, ld *core.LayerDelta) error {
 	}
 	// Guard the allocation against a header that declares far more cells
 	// than the payload could possibly back: the remaining buffer must
-	// hold the bias block plus at least (1-byte column varint + 4-byte
+	// hold the bias block plus at least (1-byte column varint + one
 	// value) per declared cell. Without this, a few hostile header bytes
 	// could demand an out*in-cell allocation — and on layers wider than
 	// 2^31 cells, wrap the int32 offsets.
-	if total > int64(math.MaxInt32) || 4*int64(nr)+5*total > int64(len(r.buf)) {
+	if total > int64(math.MaxInt32) || vb*int64(nr)+(1+vb)*total > int64(len(r.buf)) {
 		return fmt.Errorf("declared %d cells exceed the %d-byte payload", total, len(r.buf))
 	}
 	for i := 0; i < nr; i++ {
-		bits, err := r.u32()
+		b, err := c.readVal(r)
 		if err != nil {
 			return err
 		}
-		ld.Bias[i] = math.Float32frombits(bits)
+		ld.Bias[i] = b
 	}
 	nnz := int(total)
 	ld.Cols = grow(ld.Cols, nnz)
@@ -257,11 +383,11 @@ func (c *Codec) decodeLayer(r *reader, li int, ld *core.LayerDelta) error {
 		}
 	}
 	for k := 0; k < nnz; k++ {
-		bits, err := r.u32()
+		v, err := c.readVal(r)
 		if err != nil {
 			return err
 		}
-		ld.Vals[k] = math.Float32frombits(bits)
+		ld.Vals[k] = v
 	}
 	return nil
 }
@@ -309,6 +435,15 @@ func (r *reader) u32() (uint32, error) {
 	}
 	v := binary.LittleEndian.Uint32(r.buf)
 	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.buf) < 2 {
+		return 0, fmt.Errorf("dist: truncated delta (want 2 bytes, have %d)", len(r.buf))
+	}
+	v := binary.LittleEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
 	return v, nil
 }
 

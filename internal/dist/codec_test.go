@@ -9,10 +9,19 @@ import (
 	"repro/internal/core"
 )
 
-// testCodec builds a codec for a fixed 2-layer shape without a network.
+// testCodec builds an fp32 codec for a fixed layer shape without a
+// network.
 func testCodec(dims ...[2]int32) *Codec {
 	return &Codec{dims: dims}
 }
+
+// testCodecFmt builds a codec with an explicit value format.
+func testCodecFmt(f ValueFormat, dims ...[2]int32) *Codec {
+	return &Codec{dims: dims, format: f}
+}
+
+// allFormats enumerates every negotiated wire format for table tests.
+var allFormats = []ValueFormat{ValueFP32, ValueBF16, ValueTopK}
 
 // randomDelta builds a structurally valid random delta for dims: random
 // ascending row subsets, random ascending column spans (possibly empty),
@@ -73,31 +82,69 @@ func deltasEqual(a, b *core.SparseDelta) bool {
 	return true
 }
 
-// TestCodecRoundTripProperty: for many random deltas, encode → decode is
-// the identity and EncodedSize predicts the exact buffer length.
+// TestCodecRoundTripProperty: for many random deltas in every wire
+// format, encode → decode reproduces the quantized delta exactly and
+// EncodedSize predicts the exact buffer length. For fp32/topk the
+// quantization is the identity; for bf16 it is Quantize — which must be
+// idempotent, so the decoded delta re-encodes to the same bytes.
 func TestCodecRoundTripProperty(t *testing.T) {
 	dims := [][2]int32{{64, 700}, {256, 64}}
-	c := testCodec(dims...)
-	r := rand.New(rand.NewSource(41))
-	var buf []byte
-	var scratch *core.SparseDelta
-	for trial := 0; trial < 200; trial++ {
-		d := randomDelta(r, dims)
-		var err error
-		buf, err = c.AppendDelta(buf[:0], d)
-		if err != nil {
-			t.Fatalf("trial %d: encode: %v", trial, err)
-		}
-		if got := c.EncodedSize(d); got != len(buf) {
-			t.Fatalf("trial %d: EncodedSize %d != encoded length %d", trial, got, len(buf))
-		}
-		scratch, err = c.DecodeDelta(scratch, buf)
-		if err != nil {
-			t.Fatalf("trial %d: decode: %v", trial, err)
-		}
-		if !deltasEqual(d, scratch) {
-			t.Fatalf("trial %d: round-trip mismatch", trial)
-		}
+	for _, f := range allFormats {
+		t.Run(f.String(), func(t *testing.T) {
+			c := testCodecFmt(f, dims...)
+			r := rand.New(rand.NewSource(41))
+			var buf []byte
+			var scratch *core.SparseDelta
+			for trial := 0; trial < 200; trial++ {
+				d := randomDelta(r, dims)
+				var err error
+				buf, err = c.AppendDelta(buf[:0], d)
+				if err != nil {
+					t.Fatalf("trial %d: encode: %v", trial, err)
+				}
+				if got := c.EncodedSize(d); got != len(buf) {
+					t.Fatalf("trial %d: EncodedSize %d != encoded length %d", trial, got, len(buf))
+				}
+				scratch, err = c.DecodeDelta(scratch, buf)
+				if err != nil {
+					t.Fatalf("trial %d: decode: %v", trial, err)
+				}
+				want := d.Clone()
+				c.Quantize(want) // identity except bf16
+				if !deltasEqual(want, scratch) {
+					t.Fatalf("trial %d: round-trip mismatch", trial)
+				}
+				// Quantize must be exactly the wire rounding: the decoded
+				// delta re-encodes byte-identically.
+				again, err := c.AppendDelta(nil, scratch)
+				if err != nil {
+					t.Fatalf("trial %d: re-encode: %v", trial, err)
+				}
+				if string(again) != string(buf) {
+					t.Fatalf("trial %d: re-encoding the decoded delta changed bytes", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecBF16HalvesValueBytes: the bf16 wire format must spend exactly
+// 2 bytes per value/bias where fp32 spends 4 — identical id streams,
+// halved value blocks.
+func TestCodecBF16HalvesValueBytes(t *testing.T) {
+	dims := [][2]int32{{64, 700}, {256, 64}}
+	d := randomDelta(rand.New(rand.NewSource(9)), dims)
+	full := testCodec(dims...).EncodedSize(d)
+	half := testCodecFmt(ValueBF16, dims...).EncodedSize(d)
+	values := 0
+	for li := range d.Layers {
+		values += len(d.Layers[li].Vals) + len(d.Layers[li].Bias)
+	}
+	if full-half != 2*values {
+		t.Fatalf("bf16 saves %d bytes over fp32, want exactly 2 per value = %d", full-half, 2*values)
+	}
+	if topk := testCodecFmt(ValueTopK, dims...).EncodedSize(d); topk != full {
+		t.Fatalf("topk frame size %d differs from fp32 %d for the same delta", topk, full)
 	}
 }
 
@@ -136,78 +183,121 @@ func TestCodecCompactness(t *testing.T) {
 }
 
 // TestCodecRejectsMalformed: truncations, bad magic, wrong shapes and
-// out-of-range ids all error instead of panicking or silently passing.
+// out-of-range ids all error instead of panicking or silently passing —
+// in every wire format.
 func TestCodecRejectsMalformed(t *testing.T) {
 	dims := [][2]int32{{16, 32}}
-	c := testCodec(dims...)
-	d := randomDelta(rand.New(rand.NewSource(3)), dims)
-	buf, err := c.AppendDelta(nil, d)
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, f := range allFormats {
+		t.Run(f.String(), func(t *testing.T) {
+			c := testCodecFmt(f, dims...)
+			d := randomDelta(rand.New(rand.NewSource(3)), dims)
+			buf, err := c.AppendDelta(nil, d)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	if _, err := c.DecodeDelta(nil, nil); err == nil {
-		t.Fatal("decoded empty buffer")
-	}
-	for cut := 1; cut < len(buf); cut += 3 {
-		if _, err := c.DecodeDelta(nil, buf[:len(buf)-cut]); err == nil {
-			t.Fatalf("decoded %d-byte truncation", cut)
-		}
-	}
-	bad := append([]byte(nil), buf...)
-	bad[0] ^= 0xff
-	if _, err := c.DecodeDelta(nil, bad); err == nil {
-		t.Fatal("decoded bad magic")
-	}
-	if _, err := c.DecodeDelta(nil, append(append([]byte(nil), buf...), 0)); err == nil {
-		t.Fatal("decoded trailing garbage")
-	}
-	other := testCodec([2]int32{16, 32}, [2]int32{8, 16})
-	if _, err := other.DecodeDelta(nil, buf); err == nil {
-		t.Fatal("decoded delta with wrong layer count")
-	}
-	// Out-of-range ids on encode.
-	badDelta := &core.SparseDelta{Layers: []core.LayerDelta{{
-		Rows:   []int32{16},
-		RowOff: []int32{0, 0},
-		Bias:   []float32{0},
-	}}}
-	if _, err := c.AppendDelta(nil, badDelta); err == nil {
-		t.Fatal("encoded out-of-range row")
+			if _, err := c.DecodeDelta(nil, nil); err == nil {
+				t.Fatal("decoded empty buffer")
+			}
+			for cut := 1; cut < len(buf); cut++ {
+				if _, err := c.DecodeDelta(nil, buf[:len(buf)-cut]); err == nil {
+					t.Fatalf("decoded %d-byte truncation", cut)
+				}
+			}
+			bad := append([]byte(nil), buf...)
+			bad[0] ^= 0xff
+			if _, err := c.DecodeDelta(nil, bad); err == nil {
+				t.Fatal("decoded bad magic")
+			}
+			if _, err := c.DecodeDelta(nil, append(append([]byte(nil), buf...), 0)); err == nil {
+				t.Fatal("decoded trailing garbage")
+			}
+			other := testCodecFmt(f, [2]int32{16, 32}, [2]int32{8, 16})
+			if _, err := other.DecodeDelta(nil, buf); err == nil {
+				t.Fatal("decoded delta with wrong layer count")
+			}
+			// Out-of-range ids on encode.
+			badDelta := &core.SparseDelta{Layers: []core.LayerDelta{{
+				Rows:   []int32{16},
+				RowOff: []int32{0, 0},
+				Bias:   []float32{0},
+			}}}
+			if _, err := c.AppendDelta(nil, badDelta); err == nil {
+				t.Fatal("encoded out-of-range row")
+			}
+		})
 	}
 }
 
-// FuzzDecodeDelta drives the decoder with arbitrary bytes: it must never
-// panic, and anything it accepts must re-encode and re-decode to the
-// same delta.
+// TestCodecRejectsFormatMismatch: compression is negotiated, not sniffed
+// — a decoder built for one value format must reject frames stamped with
+// another (the formats disagree on value width, so accepting one would
+// merge garbage), and an unknown format byte is rejected outright.
+func TestCodecRejectsFormatMismatch(t *testing.T) {
+	dims := [][2]int32{{16, 32}}
+	d := randomDelta(rand.New(rand.NewSource(5)), dims)
+	for _, enc := range allFormats {
+		buf, err := testCodecFmt(enc, dims...).AppendDelta(nil, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dec := range allFormats {
+			if enc == dec {
+				continue
+			}
+			if _, err := testCodecFmt(dec, dims...).DecodeDelta(nil, buf); err == nil {
+				t.Fatalf("%v decoder accepted a %v frame", dec, enc)
+			}
+		}
+		// Unknown format byte (the byte after the 4-byte magic).
+		bad := append([]byte(nil), buf...)
+		bad[4] = 0xff
+		if _, err := testCodecFmt(enc, dims...).DecodeDelta(nil, bad); err == nil {
+			t.Fatal("decoded a frame with an unknown format byte")
+		}
+	}
+}
+
+// FuzzDecodeDelta drives every format's decoder with arbitrary bytes:
+// none may panic, and anything a decoder accepts must re-encode and
+// re-decode to the same delta (for bf16 that pins Quantize's
+// idempotence — accepted wire values are exactly representable).
 func FuzzDecodeDelta(f *testing.F) {
 	dims := [][2]int32{{16, 600}, {64, 16}}
-	c := testCodec(dims...)
+	codecs := make([]*Codec, len(allFormats))
+	for i, vf := range allFormats {
+		codecs[i] = testCodecFmt(vf, dims...)
+	}
 	r := rand.New(rand.NewSource(11))
 	for i := 0; i < 4; i++ {
-		seed, err := c.AppendDelta(nil, randomDelta(r, dims))
-		if err != nil {
-			f.Fatal(err)
+		d := randomDelta(r, dims)
+		for _, c := range codecs {
+			seed, err := c.AppendDelta(nil, d)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(seed)
 		}
-		f.Add(seed)
 	}
 	f.Add([]byte{})
-	f.Add([]byte{'S', 'D', 'L', '1', 2})
+	f.Add([]byte{'S', 'D', 'L', '0' + codecVersion, 0xff, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		d, err := c.DecodeDelta(nil, data)
-		if err != nil {
-			return
-		}
-		buf, err := c.AppendDelta(nil, d)
-		if err != nil {
-			t.Fatalf("accepted delta failed to re-encode: %v", err)
-		}
-		again, err := c.DecodeDelta(nil, buf)
-		if err != nil {
-			t.Fatalf("re-encoded delta failed to decode: %v", err)
-		}
-		if !deltasEqual(d, again) {
-			t.Fatal("decode/encode/decode not stable")
+		for _, c := range codecs {
+			d, err := c.DecodeDelta(nil, data)
+			if err != nil {
+				continue
+			}
+			buf, err := c.AppendDelta(nil, d)
+			if err != nil {
+				t.Fatalf("%v: accepted delta failed to re-encode: %v", c.Format(), err)
+			}
+			again, err := c.DecodeDelta(nil, buf)
+			if err != nil {
+				t.Fatalf("%v: re-encoded delta failed to decode: %v", c.Format(), err)
+			}
+			if !deltasEqual(d, again) {
+				t.Fatalf("%v: decode/encode/decode not stable", c.Format())
+			}
 		}
 	})
 }
@@ -219,6 +309,7 @@ func TestCodecRejectsAllocationBomb(t *testing.T) {
 	c := testCodec([2]int32{1 << 16, 1 << 12})
 	var buf []byte
 	buf = append(buf, codecMagic[:]...)
+	buf = append(buf, byte(ValueFP32))
 	buf = binary.AppendUvarint(buf, 1)     // one layer
 	buf = binary.AppendUvarint(buf, 1<<16) // every row touched...
 	for i := 0; i < 1<<16; i++ {
@@ -239,6 +330,7 @@ func TestCodecRejectsOverflowingIDDiff(t *testing.T) {
 	c := testCodec([2]int32{16, 32})
 	var buf []byte
 	buf = append(buf, codecMagic[:]...)
+	buf = append(buf, byte(ValueFP32))
 	buf = binary.AppendUvarint(buf, 1) // one layer
 	buf = binary.AppendUvarint(buf, 2) // two rows
 	buf = binary.AppendUvarint(buf, 5) // row 5

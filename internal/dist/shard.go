@@ -109,7 +109,10 @@ func TrainSharded(ctx context.Context, cfg core.Config, train, test []dataset.Ex
 		}
 		nets[r] = net
 	}
-	mesh := NewMesh(shards, NewCodec(nets[0]))
+	// The mesh's codec matches the configured compression, so in-process
+	// groups measure the same wire bytes a TCP group would ship — and,
+	// for bf16, apply the same value rounding.
+	mesh := NewMesh(shards, NewCodecFormat(nets[0], FormatFor(tc.Compress)))
 
 	data := make([][]dataset.Example, shards)
 	for r := range data {

@@ -203,13 +203,19 @@ func (s *TCPServer) handshake(conn net.Conn) (int, error) {
 
 // ScheduleDigest fingerprints everything the replicas of one group must
 // agree on beyond layer shapes: the full network config (weight-init
-// seed, Adam hyperparameters, table settings), the per-shard batch
-// size, the iteration count, and the group's base shuffle seed (before
-// rank striping). Every field of core.Config is plain data, so the
-// formatted rendering is deterministic across processes.
-func ScheduleDigest(cfg core.Config, batch int, iterations int64, baseSeed uint64) uint64 {
+// seed, Adam hyperparameters, table settings), the per-shard batch size,
+// the iteration count, the group's base shuffle seed (before rank
+// striping), and the delta compression mode with its top-k fraction — a
+// replica shipping bf16 or a thinned delta into a group expecting exact
+// gradients would silently diverge every rank's weights. tc is read for
+// BatchSize, Iterations, Compress and TopKFrac only (never rendered
+// whole: it carries function values); OverlapExchange is deliberately
+// excluded, since overlapped and synchronous replicas run the same
+// exchange sequence and may share a group. Every hashed field is plain
+// data, so the rendering is deterministic across processes.
+func ScheduleDigest(cfg core.Config, tc core.TrainConfig, baseSeed uint64) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v|%d|%d|%d", cfg, batch, iterations, baseSeed)
+	fmt.Fprintf(h, "%+v|%d|%d|%d|%d|%g", cfg, tc.BatchSize, tc.Iterations, baseSeed, int(tc.Compress), tc.TopKFrac)
 	return h.Sum64()
 }
 
@@ -259,6 +265,11 @@ func (s *TCPServer) Exchange(step int64, local *core.SparseDelta, stop bool) (*c
 		bytesIn += int64(p.read)
 	}
 
+	// The clients' deltas arrived through the codec, already rounded to
+	// its wire precision; round the hub's own part the same way, then
+	// round the merged sum exactly as the broadcast encode would, so the
+	// delta rank 0 applies is bit-identical to what every client decodes.
+	s.codec.Quantize(local)
 	s.parts[0] = local
 	for r := 1; r < s.shards; r++ {
 		s.parts[r] = s.peers[r].delta
@@ -268,6 +279,7 @@ func (s *TCPServer) Exchange(step int64, local *core.SparseDelta, stop bool) (*c
 		return nil, false, s.failRound(err)
 	}
 	s.mergeScratch = merged
+	s.codec.Quantize(merged)
 
 	s.encodeBuf, err = s.codec.AppendDelta(s.encodeBuf[:0], merged)
 	if err != nil {

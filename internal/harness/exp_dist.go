@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/hashtable"
 	"repro/internal/sampling"
@@ -19,11 +20,14 @@ func init() {
 }
 
 // runDistTrain measures the §6 claim end to end instead of estimating
-// it: a 2-shard data-parallel run over the real extract→encode→merge→
-// apply pipeline, against a single-process run with the same global
-// batch. It reports convergence side by side and the *measured* encoded
-// bytes each replica ships per iteration versus the dense parameter
-// synchronization a non-sparse data-parallel trainer would need.
+// it: 2-shard data-parallel runs over the real extract→compress→encode→
+// merge→apply pipeline, against a single-process run with the same
+// global batch. It reports convergence side by side and the *measured*
+// encoded bytes each replica ships per iteration versus the dense
+// parameter synchronization a non-sparse data-parallel trainer would
+// need — across the negotiated wire formats (fp32, bf16, error-feedback
+// top-k) and with the exchange either synchronous or hidden behind the
+// next batch's forward pass (OverlapExchange).
 //
 // The run uses the distributed operating point the paper argues from:
 // the active set at the published ~0.5% fraction and a small per-shard
@@ -38,19 +42,37 @@ func runDistTrain(opts Options) (*Report, error) {
 		return nil, err
 	}
 	const shards = 2
-	// maxIters caps both runs at the same step budget: small batches at
+	// maxIters caps all runs at the same step budget: small batches at
 	// large scales would otherwise derive tens of thousands of steps,
-	// and the comparison needs equal global data volume, not full
-	// convergence.
-	const maxIters = 1200
+	// and the comparison needs equal global data volume.
+	const maxIters = 3600
+	// Error feedback trades early convergence speed for wire bytes — the
+	// delayed mass behaves like momentum with a long horizon — so the
+	// accuracy comparison needs runs near their plateau, not a short
+	// transient: train 3x the scale's epoch budget.
+	const epochMult = 3
 
 	rep := &Report{ID: "dist-train", Title: "Data-parallel SLIDE over sparse-delta exchange"}
-	rep.AddNote("sparse bytes are measured through the dist codec (varint ids + float32 values), not estimated; dense sync = 4 bytes x params per iteration")
+	rep.AddNote("sparse bytes are measured through the dist codec (varint ids + values in the negotiated wire format), not estimated; dense sync = 4 bytes x params per iteration")
 	rep.AddNote("operating point: beta = max(32, 0.5%% of classes) (§5's active fraction), %d shards x a small per-shard batch (8 for Delicious, 4 for the wider-active Amazon task); the single-process baseline trains the same global batch", shards)
+	rep.AddNote("exch blocked = time the training loop waited on the exchange barrier; exch hidden = exchange time that ran under the next batch's forward pass (overlap rows only)")
 	tab := Table{
-		Title: "2-shard vs single-process",
+		Title: "2-shard variants vs single-process",
 		Header: []string{"dataset", "system", "P@1", "seconds", "sparse up/iter", "merged down/iter",
-			"dense sync/iter", "reduction", "exchange time"},
+			"dense sync/iter", "reduction", "exch blocked", "exch hidden"},
+	}
+	type variant struct {
+		name     string
+		compress core.DeltaCompression
+		frac     float64
+		overlap  bool
+	}
+	variants := []variant{
+		{name: "fp32"},
+		{name: "fp32+overlap", overlap: true},
+		{name: "bf16", compress: core.CompressBF16},
+		{name: "topk:0.20", compress: core.CompressTopK, frac: 0.20},
+		{name: "topk:0.20+overlap", compress: core.CompressTopK, frac: 0.20, overlap: true},
 	}
 	// Per-shard batch: the low-bandwidth §6 regime — each touched output
 	// row ships its full hidden-fan-in span, so the payload scales with
@@ -74,7 +96,7 @@ func runDistTrain(opts Options) (*Report, error) {
 		// its seconds/exchange-share columns.
 		tc.Threads = 0
 		tc.BatchSize = shards * perShard
-		epochs := max(tc.Epochs, 1)
+		epochs := epochMult * max(tc.Epochs, 1)
 		tc.Iterations = int64(epochs) * int64((len(w.ds.Train)+tc.BatchSize-1)/tc.BatchSize)
 		tc.Iterations = min(tc.Iterations, maxIters)
 		single, err := dist.TrainSharded(context.Background(), cfg, w.ds.Train, w.ds.Test, tc, 1)
@@ -83,35 +105,61 @@ func runDistTrain(opts Options) (*Report, error) {
 		}
 		opts.logf("dist-train: %s single-process P@1=%.3f", w.ds.Name, single.Results[0].FinalAcc)
 
-		tc.BatchSize = perShard
-		sharded, err := dist.TrainSharded(context.Background(), cfg, w.ds.Train, w.ds.Test, tc, shards)
-		if err != nil {
-			return nil, err
-		}
-		opts.logf("dist-train: %s %d-shard P@1=%.3f", w.ds.Name, shards, sharded.Results[0].FinalAcc)
-
 		dense := float64(single.Nets[0].NumParams()) * 4
 		srow := single.Results[0]
 		tab.Rows = append(tab.Rows, []string{
 			w.ds.Name, "single", fmtF(srow.FinalAcc, 3), fmtF(srow.Seconds, 2),
-			"-", "-", humanBytes(dense), "-", "-",
+			"-", "-", humanBytes(dense), "-", "-", "-",
 		})
-		drow := sharded.Results[0]
-		st := sharded.Stats[0]
-		up, down := st.BytesOutPerRound(), st.BytesInPerRound()
-		exchShare := float64(drow.ExchangeNS) / 1e9 / math.Max(drow.Seconds, 1e-9)
-		tab.Rows = append(tab.Rows, []string{
-			w.ds.Name, fmt.Sprintf("%d-shard", shards), fmtF(drow.FinalAcc, 3), fmtF(drow.Seconds, 2),
-			humanBytes(up), humanBytes(down), humanBytes(dense),
-			fmtF(dense/math.Max(up, 1), 0) + "x", fmtF(100*exchShare, 0) + "%",
-		})
-		rep.AddNote("%s: |ΔP@1| = %.3f between single and %d-shard; replicas end bit-identical by construction (shared merged delta)",
-			w.ds.Name, math.Abs(srow.FinalAcc-drow.FinalAcc), shards)
-
 		_, iterS := curveSeries(w.ds.Name+" single", srow.Curve.Points)
 		rep.Series = append(rep.Series, iterS)
-		_, iterD := curveSeries(fmt.Sprintf("%s %d-shard", w.ds.Name, shards), drow.Curve.Points)
-		rep.Series = append(rep.Series, iterD)
+
+		// The acceptance trio this experiment certifies: topk bytes vs
+		// fp32 bytes, topk accuracy vs fp32 accuracy, overlapped blocked
+		// time vs synchronous blocked time.
+		var fp32Up, fp32Acc, fp32BlockedS, topkUp, topkAcc, overlapBlockedS float64
+		for _, v := range variants {
+			vtc := tc
+			vtc.BatchSize = perShard
+			vtc.Compress = v.compress
+			vtc.TopKFrac = v.frac
+			vtc.OverlapExchange = v.overlap
+			sharded, err := dist.TrainSharded(context.Background(), cfg, w.ds.Train, w.ds.Test, vtc, shards)
+			if err != nil {
+				return nil, err
+			}
+			drow := sharded.Results[0]
+			st := sharded.Stats[0]
+			opts.logf("dist-train: %s %d-shard %s P@1=%.3f", w.ds.Name, shards, v.name, drow.FinalAcc)
+			up, down := st.BytesOutPerRound(), st.BytesInPerRound()
+			blockedS := float64(drow.ExchangeNS) / 1e9
+			hiddenS := float64(drow.ExchangeHiddenNS) / 1e9
+			hidden := "-"
+			if v.overlap {
+				hidden = fmtF(hiddenS, 2) + "s"
+			}
+			tab.Rows = append(tab.Rows, []string{
+				w.ds.Name, fmt.Sprintf("%d-shard %s", shards, v.name), fmtF(drow.FinalAcc, 3), fmtF(drow.Seconds, 2),
+				humanBytes(up), humanBytes(down), humanBytes(dense),
+				fmtF(dense/math.Max(up, 1), 0) + "x", fmtF(blockedS, 2) + "s", hidden,
+			})
+			switch v.name {
+			case "fp32":
+				fp32Up, fp32Acc, fp32BlockedS = up, drow.FinalAcc, blockedS
+			case "fp32+overlap":
+				overlapBlockedS = blockedS
+			case "topk:0.20":
+				topkUp, topkAcc = up, drow.FinalAcc
+			}
+			if v.name == "fp32" || v.name == "topk:0.20" {
+				_, iterD := curveSeries(fmt.Sprintf("%s %d-shard %s", w.ds.Name, shards, v.name), drow.Curve.Points)
+				rep.Series = append(rep.Series, iterD)
+			}
+		}
+		rep.AddNote("%s acceptance: topk:0.20 ships %.1fx fewer bytes/iter than fp32 (%.0f vs %.0f B); ΔP@1 topk-fp32 = %+.3f, topk-single = %+.3f; overlap blocked exchange = %.0f%% of synchronous (%.2fs vs %.2fs)",
+			w.ds.Name, fp32Up/math.Max(topkUp, 1), topkUp, fp32Up,
+			topkAcc-fp32Acc, topkAcc-single.Results[0].FinalAcc,
+			100*overlapBlockedS/math.Max(fp32BlockedS, 1e-9), overlapBlockedS, fp32BlockedS)
 	}
 	rep.Tables = append(rep.Tables, tab)
 	rep.AddNote("the reduction grows with model size: the dense payload scales with params while the sparse delta scales with batch x active set; at tiny scales the two are close and the exchange is uninteresting")
