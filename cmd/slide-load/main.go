@@ -90,11 +90,19 @@ func main() {
 	type row struct {
 		Result loadgen.Result      `json:"result"`
 		Server loadgen.ServerStats `json:"server_stats"`
+		// GC differences the server's runtime gauges across this rate's
+		// run: collections, allocations and bytes per served request.
+		GC loadgen.GCDelta `json:"gc"`
 	}
 	var rows []row
-	fmt.Printf("%10s %10s %10s %8s %8s %8s %8s %9s %9s %9s\n",
-		"offered", "goodput", "ok", "shed", "dl", "err", "hits", "p50ms", "p99ms", "p999ms")
+	fmt.Printf("%10s %10s %10s %8s %8s %8s %8s %9s %9s %9s %9s %10s\n",
+		"offered", "goodput", "ok", "shed", "dl", "err", "hits", "p50ms", "p99ms", "p999ms",
+		"gcP99ms", "allocs/req")
 	for _, rate := range rates {
+		before, err := loadgen.FetchStats(*url)
+		if err != nil {
+			log.Printf("warning: %v", err)
+		}
 		res, err := loadgen.Run(ctx, loadgen.Config{
 			BaseURL:     *url,
 			QPS:         rate,
@@ -116,10 +124,12 @@ func main() {
 		if err != nil {
 			log.Printf("warning: %v", err)
 		}
-		fmt.Printf("%10.0f %10.1f %10d %8d %8d %8d %8d %9.2f %9.2f %9.2f\n",
+		gc := loadgen.GCDeltaBetween(before, st)
+		fmt.Printf("%10.0f %10.1f %10d %8d %8d %8d %8d %9.2f %9.2f %9.2f %9.3f %10.1f\n",
 			res.OfferedQPS, res.GoodputQPS, res.OK, res.Shed, res.DeadlineExceeded,
-			res.Errors, res.CacheHits, res.P50Millis, res.P99Millis, res.P999Millis)
-		rows = append(rows, row{Result: res, Server: st})
+			res.Errors, res.CacheHits, res.P50Millis, res.P99Millis, res.P999Millis,
+			st.GCPauseP99Millis, gc.AllocsPerRequest)
+		rows = append(rows, row{Result: res, Server: st, GC: gc})
 		if ctx.Err() != nil {
 			log.Print("interrupted; stopping sweep")
 			break

@@ -53,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -74,10 +75,29 @@ func main() {
 		budget      = flag.Duration("latency-budget", 0, "admission-control latency budget: shed requests whose expected wait exceeds it with 429 + Retry-After (0 disables shedding)")
 		cacheSize   = flag.Int("cache-size", 0, "response-cache capacity in entries for deterministic (exact and seeded-sampled) requests (0 disables the cache)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests on SIGINT/SIGTERM")
+		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes for /predict; /predict/batch allows 16x, /reload a quarter (0 keeps the 4 MiB default)")
+		memLimit    = flag.Int64("gomemlimit", 0, "soft heap limit in bytes passed to the runtime (debug.SetMemoryLimit); 0 leaves the runtime default")
+		gcPercent   = flag.Int("gogc", 0, "GC target percentage (debug.SetGCPercent); 0 leaves the runtime default")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux for live heap and allocation profiling")
+		noPooling   = flag.Bool("no-pooling", false, "disable per-request workspace pooling (measurement ablation: reproduces the allocate-per-request regime)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
 		log.Fatal("-model is required (train one with: slide-train -save model.slide)")
+	}
+
+	// Runtime memory knobs first, so even model loading runs under them.
+	// -gomemlimit bounds the heap's steady-state size (the GC runs more
+	// often rather than letting the heap balloon between cycles);
+	// -gogc trades heap headroom for GC frequency. With the request path
+	// allocation-free, both mostly govern the training/reload side.
+	if *memLimit > 0 {
+		debug.SetMemoryLimit(*memLimit)
+		log.Printf("memory limit %d bytes", *memLimit)
+	}
+	if *gcPercent > 0 {
+		debug.SetGCPercent(*gcPercent)
+		log.Printf("GC percent %d", *gcPercent)
 	}
 
 	f, err := os.Open(*modelPath)
@@ -101,6 +121,9 @@ func main() {
 		ModelPath:      *modelPath,
 		LatencyBudget:  *budget,
 		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		NoPooling:      *noPooling,
+		EnablePprof:    *pprofOn,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -137,6 +160,12 @@ func main() {
 	}
 	if *cacheSize > 0 {
 		log.Printf("response cache: %d entries", *cacheSize)
+	}
+	if *pprofOn {
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+	if *noPooling {
+		log.Printf("workspace pooling DISABLED (-no-pooling measurement ablation)")
 	}
 	log.Printf("serving on %s (micro-batch window %s, max %d%s; SIGHUP reloads %s)",
 		*addr, window, *batchMax, extras, *modelPath)

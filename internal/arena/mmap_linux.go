@@ -1,0 +1,40 @@
+//go:build linux
+
+package arena
+
+import "syscall"
+
+// mmapSupported reports whether BackendMmap can actually map slabs on
+// this platform.
+const mmapSupported = true
+
+// mmapSlab maps an anonymous private region of at least n bytes, rounded
+// up to the page size, and advises the kernel to back it with
+// transparent huge pages — the §5.4/App. D THP optimization applied to
+// exactly the memory that holds parameter state. Returns nil when the
+// map fails, letting the caller fall back to a heap slab.
+func mmapSlab(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	page := syscall.Getpagesize()
+	size := (n + page - 1) / page * page
+	b, err := syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+	if err != nil {
+		return nil
+	}
+	// Advisory only: kernels without THP (or with it disabled) return
+	// EINVAL and simply serve the region with base pages.
+	_ = syscall.Madvise(b, syscall.MADV_HUGEPAGE)
+	return b[:n]
+}
+
+// munmapSlab returns a region obtained from mmapSlab to the kernel.
+func munmapSlab(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	_ = syscall.Munmap(b[:cap(b)])
+}

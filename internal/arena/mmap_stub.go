@@ -1,0 +1,11 @@
+//go:build !linux
+
+package arena
+
+// mmapSupported reports whether BackendMmap can actually map slabs on
+// this platform; without it every slab comes from the heap.
+const mmapSupported = false
+
+func mmapSlab(int) []byte { return nil }
+
+func munmapSlab([]byte) {}

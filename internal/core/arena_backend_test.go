@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arena"
+)
+
+// TestMmapArenaBitTransparent is the arena backend's end-to-end
+// acceptance check: building and training a network on mmap-backed
+// slabs produces a bitwise-identical model to heap-backed slabs. The
+// backend may move parameter state onto huge pages, but it must never
+// change a single bit of what is computed. Single-threaded training so
+// the only variable is the slab backend.
+func TestMmapArenaBitTransparent(t *testing.T) {
+	build := func(b arena.Backend) []byte {
+		prev := arena.SetBackend(b)
+		defer arena.SetBackend(prev)
+		ds := tinyDataset(t, 64)
+		n, err := NewNetwork(tinyConfig(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Train(ds.Train, ds.Test, TrainConfig{
+			Epochs: 1, Seed: 9, Threads: 1, EvalEvery: 0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := n.SaveModel(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	heap := build(arena.BackendHeap)
+	mm := build(arena.BackendMmap)
+	if !bytes.Equal(heap, mm) {
+		t.Fatalf("mmap-backed training diverged from heap: %d vs %d bytes, equal=false",
+			len(heap), len(mm))
+	}
+	if !arena.MmapSupported() {
+		t.Log("platform has no mmap support; backends compared heap vs heap fallback")
+	}
+}

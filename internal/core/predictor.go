@@ -161,6 +161,35 @@ func (p *Predictor) TopKWithScoresCtx(ctx context.Context, x sparse.Vector, k in
 	return p.TopKWithScores(x, k, sampled, opts...)
 }
 
+// TopKWithScoresInto is TopKWithScoresCtx appending the result into the
+// caller's ids/scores buffers (reusing their capacity) instead of
+// allocating fresh slices — the allocation-free serving entry point. Once
+// the buffers' capacity covers k, a steady-state call performs zero heap
+// allocations: the worker state comes from the pool, selection scratch
+// lives in the state, and the results land in the caller's memory. The
+// returned slices are the (possibly grown) buffers; the input slices'
+// contents are discarded.
+func (p *Predictor) TopKWithScoresInto(ctx context.Context, x sparse.Vector, k int, sampled bool, ids []int32, scores []float32, opts ...PredictOpts) ([]int32, []float32, error) {
+	if err := ctx.Err(); err != nil {
+		return ids, scores, err
+	}
+	seeded := sampled && len(opts) > 0
+	st, err := p.getState(seeded)
+	if err != nil {
+		return ids, scores, err
+	}
+	if seeded {
+		st.reseed(opts[0].Seed)
+	}
+	mode := modeEvalFull
+	if sampled {
+		mode = modeEvalSampled
+	}
+	ids, scores = p.n.predictIntoBuf(st, x, k, mode, ids, scores)
+	p.putState(st, seeded)
+	return ids, scores, nil
+}
+
 // PredictBatch predicts exact top-k ids and scores for every input,
 // fanning the batch out across GOMAXPROCS pooled workers. Cancellation is
 // checked between elements: on ctx cancellation the partial work is
@@ -219,6 +248,107 @@ func (p *Predictor) predictBatch(ctx context.Context, xs []sparse.Vector, k int,
 	return ids, scores, nil
 }
 
+// BatchResults is reusable result storage for PredictBatchInto. IDs[i]
+// and Scores[i] hold element i's top-k ids and scores, highest first;
+// both alias a flat backing array that is reused across calls, so a
+// steady-state caller re-running batches of the same shape allocates
+// nothing. The contents are valid until the next PredictBatchInto call
+// on the same BatchResults.
+type BatchResults struct {
+	IDs    [][]int32
+	Scores [][]float32
+
+	idsFlat    []int32
+	scoresFlat []float32
+}
+
+// prepare sizes the result storage for n elements of up to k results
+// each, handing element i the capacity-bounded subslice
+// flat[i*k : i*k : (i+1)*k] so concurrent workers append into disjoint
+// memory.
+func (r *BatchResults) prepare(n, k int) {
+	if cap(r.idsFlat) < n*k {
+		r.idsFlat = make([]int32, n*k)
+		r.scoresFlat = make([]float32, n*k)
+	}
+	if cap(r.IDs) < n {
+		r.IDs = make([][]int32, n)
+		r.Scores = make([][]float32, n)
+	}
+	r.IDs, r.Scores = r.IDs[:n], r.Scores[:n]
+	for i := 0; i < n; i++ {
+		r.IDs[i] = r.idsFlat[i*k : i*k : (i+1)*k]
+		r.Scores[i] = r.scoresFlat[i*k : i*k : (i+1)*k]
+	}
+}
+
+// PredictBatchInto is PredictBatch/PredictBatchSampled writing into a
+// caller-owned BatchResults instead of allocating per-element result
+// slices — the allocation-free bulk entry point. Semantics match
+// predictBatch exactly: exact or sampled mode, per-element seeding when
+// a PredictOpts is passed with sampled=true, cancellation checked
+// between elements.
+func (p *Predictor) PredictBatchInto(ctx context.Context, xs []sparse.Vector, k int, sampled bool, res *BatchResults, opts ...PredictOpts) error {
+	if len(xs) == 0 {
+		res.prepare(0, 0)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	mode := modeEvalFull
+	if sampled {
+		mode = modeEvalSampled
+	}
+	seeded := sampled && len(opts) > 0
+	workers := min(defaultThreads(), len(xs))
+	if workers == 1 {
+		// Inline path: one pooled state, no goroutine fan-out, no
+		// closure — zero steady-state allocations.
+		st, err := p.getState(seeded)
+		if err != nil {
+			return err
+		}
+		defer p.putState(st, seeded)
+		res.prepare(len(xs), k)
+		for i := range xs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if seeded {
+				st.reseed(elemSeed(opts[0].Seed, i))
+			}
+			res.IDs[i], res.Scores[i] = p.n.predictIntoBuf(st, xs[i], k, mode, res.IDs[i], res.Scores[i])
+		}
+		return nil
+	}
+	states, err := p.acquireStates(workers, seeded)
+	if err != nil {
+		return err
+	}
+	defer p.releaseStates(states, seeded)
+
+	res.prepare(len(xs), k)
+	var cancelled atomic.Bool
+	parallelIndexed(workers, len(xs), func(w, lo, hi int) {
+		st := states[w]
+		for i := lo; i < hi; i++ {
+			if cancelled.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+			if seeded {
+				st.reseed(elemSeed(opts[0].Seed, i))
+			}
+			res.IDs[i], res.Scores[i] = p.n.predictIntoBuf(st, xs[i], k, mode, res.IDs[i], res.Scores[i])
+		}
+	})
+	return ctx.Err()
+}
+
 // elemSeed derives batch element i's seed from the request seed. The
 // golden-ratio stride lands every element on a distinct seed while keeping
 // elemSeed(seed, 0) == seed; PCG's seed diffusion makes even adjacent
@@ -249,19 +379,28 @@ func (p *Predictor) releaseStates(states []*elemState, seeded bool) {
 }
 
 // predictInto runs one forward pass and extracts top-k ids and scores in
-// one selection pass over the output layer's active set.
+// one selection pass over the output layer's active set, returning fresh
+// result slices.
 func (n *Network) predictInto(st *elemState, x sparse.Vector, k int, mode forwardMode) ([]int32, []float32) {
+	return n.predictIntoBuf(st, x, k, mode, nil, nil)
+}
+
+// predictIntoBuf is predictInto appending into caller buffers: the
+// forward pass runs on pooled state, top-k selection reuses the state's
+// Selector scratch, and ids/scores grow only until their capacity covers
+// k — after which the whole path is allocation-free.
+func (n *Network) predictIntoBuf(st *elemState, x sparse.Vector, k int, mode forwardMode, ids []int32, scores []float32) ([]int32, []float32) {
 	n.forwardElem(st, x, nil, mode)
 	out := &st.layers[len(st.layers)-1]
-	pos := sparse.TopK(out.vals, k)
-	ids := make([]int32, len(pos))
-	scores := make([]float32, len(pos))
-	for i, p := range pos {
-		scores[i] = out.vals[p]
+	pos := st.sel.TopKInto(st.topkPos, out.vals, k)
+	st.topkPos = pos
+	ids, scores = ids[:0], scores[:0]
+	for _, p := range pos {
+		scores = append(scores, out.vals[p])
 		if out.full {
-			ids[i] = p
+			ids = append(ids, p)
 		} else {
-			ids[i] = out.ids[p]
+			ids = append(ids, out.ids[p])
 		}
 	}
 	return ids, scores

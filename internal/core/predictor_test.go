@@ -289,6 +289,114 @@ func TestPredictorSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestTopKWithScoresIntoZeroAllocs pins the PR 9 promise: with
+// caller-owned result buffers, steady-state exact prediction allocates
+// nothing at all — the worker state is pooled, top-k selection scratch
+// lives in the state, and results land in the caller's memory.
+func TestTopKWithScoresIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocations and drops pooled items")
+	}
+	n, xs, _ := trainedNet(t, 512)
+	p, err := n.NewPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ids := make([]int32, 0, 5)
+	scores := make([]float32, 0, 5)
+	// Warm the pooled state and grow the state's selection scratch.
+	for i := 0; i < 3; i++ {
+		if ids, scores, err = p.TopKWithScoresInto(ctx, xs[0], 5, false, ids, scores); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if ids, scores, err = p.TopKWithScoresInto(ctx, xs[0], 5, false, ids, scores); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state TopKWithScoresInto made %.0f allocs/op, want 0", allocs)
+	}
+	// The Into path must agree with the allocating path bit-for-bit.
+	wantIDs, wantScores, err := p.Predict(xs[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, scores, err = p.TopKWithScoresInto(ctx, xs[1], 5, false, ids, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(wantIDs, ids) || !eqScores(wantScores, scores) {
+		t.Fatalf("Into path %v/%v diverged from Predict %v/%v", ids, scores, wantIDs, wantScores)
+	}
+}
+
+// TestPredictBatchIntoMatchesBatch checks the reusable-storage batch
+// entry point returns elementwise-identical results to PredictBatch, in
+// both exact and seeded-sampled modes, and that a steady-state
+// single-element batch (the inline, no-fan-out path) allocates nothing.
+func TestPredictBatchIntoMatchesBatch(t *testing.T) {
+	n, xs, _ := trainedNet(t, 128)
+	p, err := n.NewPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const k = 4
+	batch := xs[:64]
+	var res BatchResults
+	if err := p.PredictBatchInto(ctx, batch, k, false, &res); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, wantScores, err := p.PredictBatch(ctx, batch, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if !eqIDs(wantIDs[i], res.IDs[i]) || !eqScores(wantScores[i], res.Scores[i]) {
+			t.Fatalf("exact batch[%d]: Into %v/%v vs alloc %v/%v", i, res.IDs[i], res.Scores[i], wantIDs[i], wantScores[i])
+		}
+	}
+	seed := PredictOpts{Seed: 42}
+	if err := p.PredictBatchInto(ctx, batch, k, true, &res, seed); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, wantScores, err = p.PredictBatchSampled(ctx, batch, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if !eqIDs(wantIDs[i], res.IDs[i]) || !eqScores(wantScores[i], res.Scores[i]) {
+			t.Fatalf("seeded batch[%d]: Into %v/%v vs alloc %v/%v", i, res.IDs[i], res.Scores[i], wantIDs[i], wantScores[i])
+		}
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := p.PredictBatchInto(cancelled, batch, k, false, &res); err != context.Canceled {
+		t.Fatalf("cancelled PredictBatchInto returned %v, want context.Canceled", err)
+	}
+
+	if raceEnabled {
+		return
+	}
+	one := batch[:1] // single element: acquire one state, run inline
+	for i := 0; i < 3; i++ {
+		if err := p.PredictBatchInto(ctx, one, k, false, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.PredictBatchInto(ctx, one, k, false, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state 1-element PredictBatchInto made %.0f allocs/op, want 0", allocs)
+	}
+}
+
 // TestEvaluateReusesPooledStates pins the satellite fix: repeated
 // Evaluate calls agree and, past the first call, stop building fresh
 // element states (they come from the default predictor's pool).

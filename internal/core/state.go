@@ -6,6 +6,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/rng"
 	"repro/internal/sampling"
+	"repro/internal/sparse"
 )
 
 func nowNano() int64 { return time.Now().UnixNano() }
@@ -115,6 +116,12 @@ type elemState struct {
 
 	// rng drives the element's fallback sampling decisions.
 	rng *rng.RNG
+
+	// sel and topkPos are the top-k selection scratch (bounded heap +
+	// position list) predictIntoBuf reuses, so steady-state prediction
+	// performs zero per-call allocations end to end.
+	sel     sparse.Selector
+	topkPos []int32
 
 	// busyNS accumulates time spent doing useful work, for the Table 2
 	// utilization accounting.

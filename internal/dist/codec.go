@@ -255,13 +255,16 @@ func (c *Codec) DecodeDelta(dst *core.SparseDelta, buf []byte) (*core.SparseDelt
 		dst = &core.SparseDelta{}
 	}
 	r := reader{buf: buf}
-	var magic [4]byte
-	if err := r.bytes(magic[:]); err != nil {
-		return dst, err
+	// Compare the magic in place: copying it into a local array would
+	// move the array to the heap (its slice feeds the error format),
+	// putting one allocation on every decode.
+	if len(r.buf) < len(codecMagic) || string(r.buf[:len(codecMagic)]) != string(codecMagic[:]) {
+		if len(r.buf) < len(codecMagic) {
+			return dst, fmt.Errorf("dist: short delta frame (%d bytes)", len(r.buf))
+		}
+		return dst, fmt.Errorf("dist: bad delta magic %q", r.buf[:len(codecMagic)])
 	}
-	if magic != codecMagic {
-		return dst, fmt.Errorf("dist: bad delta magic %q", magic[:])
-	}
+	r.buf = r.buf[len(codecMagic):]
 	var fb [1]byte
 	if err := r.bytes(fb[:]); err != nil {
 		return dst, err

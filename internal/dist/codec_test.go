@@ -343,3 +343,45 @@ func TestCodecRejectsOverflowingIDDiff(t *testing.T) {
 		t.Fatalf("decoder accepted an overflowing row diff: rows = %v", d.Layers[0].Rows)
 	}
 }
+
+// TestCodecRoundTripZeroAllocs pins the wire codec's steady state: with
+// a reused encode buffer and a reused decode scratch delta, a full
+// encode+decode round trip allocates nothing in any negotiated format.
+// This is the property that keeps the delta-exchange loop off the GC's
+// books once its buffers have warmed up.
+func TestCodecRoundTripZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on instrumented paths")
+	}
+	dims := [][2]int32{{64, 700}, {256, 64}}
+	for _, f := range allFormats {
+		t.Run(f.String(), func(t *testing.T) {
+			c := testCodecFmt(f, dims...)
+			r := rand.New(rand.NewSource(97))
+			d := randomDelta(r, dims)
+			c.Quantize(d)
+			var buf []byte
+			var scratch *core.SparseDelta
+			run := func() {
+				var err error
+				buf, err = c.AppendDelta(buf[:0], d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch, err = c.DecodeDelta(scratch, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				run()
+			}
+			if !deltasEqual(d, scratch) {
+				t.Fatal("round trip diverged")
+			}
+			if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+				t.Fatalf("steady-state round trip made %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -90,15 +90,19 @@ func runServing(opts Options) (*Report, error) {
 	}
 
 	// drive stands up a fresh server with the given options, runs one
-	// open-loop load run against it, and returns both sides' accounting.
-	// A fresh server per run keeps counters and EWMAs uncontaminated
-	// across sweep points.
-	drive := func(so serve.Options, lc loadgen.Config) (loadgen.Result, loadgen.ServerStats, error) {
+	// open-loop load run against it, and returns both sides' accounting
+	// plus the GC's work across the run (the /stats runtime gauges,
+	// differenced around the load). A fresh server per run keeps
+	// counters and EWMAs uncontaminated across sweep points. Client and
+	// server share the process, so the allocation delta is a
+	// whole-process upper bound — identical client traffic in compared
+	// arms keeps the comparison honest.
+	drive := func(so serve.Options, lc loadgen.Config) (loadgen.Result, loadgen.ServerStats, loadgen.GCDelta, error) {
 		so.BatchWindow = 2 * time.Millisecond
 		so.AdaptiveWindow = true
 		srv, err := serve.New(net, so)
 		if err != nil {
-			return loadgen.Result{}, loadgen.ServerStats{}, err
+			return loadgen.Result{}, loadgen.ServerStats{}, loadgen.GCDelta{}, err
 		}
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
@@ -111,21 +115,25 @@ func runServing(opts Options) (*Report, error) {
 		// arrival/service estimators before anything is counted — short
 		// measured windows are meaningless without it.
 		lc.Warmup = probeDur
+		before, err := loadgen.FetchStats(ts.URL)
+		if err != nil {
+			return loadgen.Result{}, loadgen.ServerStats{}, loadgen.GCDelta{}, err
+		}
 		res, err := loadgen.Run(context.Background(), lc)
 		if err != nil {
-			return loadgen.Result{}, loadgen.ServerStats{}, err
+			return loadgen.Result{}, loadgen.ServerStats{}, loadgen.GCDelta{}, err
 		}
 		st, err := loadgen.FetchStats(ts.URL)
 		if err != nil {
-			return loadgen.Result{}, loadgen.ServerStats{}, err
+			return loadgen.Result{}, loadgen.ServerStats{}, loadgen.GCDelta{}, err
 		}
-		return res, st, nil
+		return res, st, loadgen.GCDeltaBetween(before, st), nil
 	}
 
 	sweepMix := loadgen.Mix{Exact: 0.5, Sampled: 0.5}
 
 	// Unloaded probe: intrinsic latency at a rate far below capacity.
-	unloaded, _, err := drive(serve.Options{}, loadgen.Config{
+	unloaded, _, _, err := drive(serve.Options{}, loadgen.Config{
 		QPS: 50, Duration: probeDur, Mix: sweepMix, ZipfS: 0,
 	})
 	if err != nil {
@@ -141,7 +149,7 @@ func runServing(opts Options) (*Report, error) {
 	// achieved goodput over the measured (post-warmup) window is the
 	// capacity estimate the sweep multiplies.
 	satQPS := clampF(float64(opts.Threads)*4*1000/p50, 500, 20000)
-	sat, _, err := drive(serve.Options{}, loadgen.Config{
+	sat, _, _, err := drive(serve.Options{}, loadgen.Config{
 		QPS: satQPS, Duration: runDur, Mix: sweepMix, ZipfS: 0,
 	})
 	if err != nil {
@@ -178,11 +186,11 @@ func runServing(opts Options) (*Report, error) {
 	for _, m := range multipliers {
 		rate := capacity * m
 		lc := loadgen.Config{QPS: rate, Duration: runDur, Mix: sweepMix, ZipfS: 0}
-		base, baseSrv, err := drive(serve.Options{}, lc)
+		base, baseSrv, _, err := drive(serve.Options{}, lc)
 		if err != nil {
 			return nil, err
 		}
-		adm, admSrv, err := drive(serve.Options{LatencyBudget: budget}, lc)
+		adm, admSrv, _, err := drive(serve.Options{LatencyBudget: budget}, lc)
 		if err != nil {
 			return nil, err
 		}
@@ -205,11 +213,11 @@ func runServing(opts Options) (*Report, error) {
 	// vs on.
 	cacheMix := loadgen.Mix{Exact: 0.45, Seeded: 0.45, Sampled: 0.1}
 	cacheLC := loadgen.Config{QPS: capacity, Duration: runDur, Mix: cacheMix, ZipfS: 1.2}
-	noCache, _, err := drive(serve.Options{}, cacheLC)
+	noCache, _, _, err := drive(serve.Options{}, cacheLC)
 	if err != nil {
 		return nil, err
 	}
-	withCache, cacheStats, err := drive(serve.Options{CacheSize: 4096}, cacheLC)
+	withCache, cacheStats, _, err := drive(serve.Options{CacheSize: 4096}, cacheLC)
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +239,40 @@ func runServing(opts Options) (*Report, error) {
 		},
 	}
 
+	// Memory phase (PR 9): identical capacity-rate traffic served by the
+	// pooled allocation-free request path vs the allocate-per-request
+	// ablation (Options.NoPooling reproduces the pre-pooling regime).
+	// The GC delta is the before/after record the issue asks for: pause
+	// p99, collections, and allocations per request at the same
+	// operating point.
+	memLC := loadgen.Config{QPS: capacity, Duration: runDur, Mix: sweepMix, ZipfS: 0}
+	pooled, pooledSrv, pooledGC, err := drive(serve.Options{}, memLC)
+	if err != nil {
+		return nil, err
+	}
+	nopool, nopoolSrv, nopoolGC, err := drive(serve.Options{NoPooling: true}, memLC)
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("serving: pooled gc-p99 %.3fms %.0f allocs/req | no-pool gc-p99 %.3fms %.0f allocs/req",
+		pooledSrv.GCPauseP99Millis, pooledGC.AllocsPerRequest,
+		nopoolSrv.GCPauseP99Millis, nopoolGC.AllocsPerRequest)
+	memTab := Table{
+		Title: "GC trajectory at ~capacity: pooled request path vs allocate-per-request ablation (whole-process alloc deltas)",
+		Header: []string{"pooling", "good qps", "srv p99 ms", "gc pause p99 ms", "gc pause max ms",
+			"collections", "allocs/req", "alloc KiB/req", "heap MiB"},
+		Rows: [][]string{
+			{"on", fmtF(pooled.GoodputQPS, 1), fmtF(pooledSrv.P99Millis, 2),
+				fmtF(pooledSrv.GCPauseP99Millis, 3), fmtF(pooledSrv.GCPauseMaxMillis, 3),
+				fmt.Sprintf("%d", pooledGC.Collections), fmtF(pooledGC.AllocsPerRequest, 1),
+				fmtF(pooledGC.AllocBytesPerRequest/1024, 2), fmtF(float64(pooledSrv.HeapAllocBytes)/(1<<20), 1)},
+			{"off", fmtF(nopool.GoodputQPS, 1), fmtF(nopoolSrv.P99Millis, 2),
+				fmtF(nopoolSrv.GCPauseP99Millis, 3), fmtF(nopoolSrv.GCPauseMaxMillis, 3),
+				fmt.Sprintf("%d", nopoolGC.Collections), fmtF(nopoolGC.AllocsPerRequest, 1),
+				fmtF(nopoolGC.AllocBytesPerRequest/1024, 2), fmtF(float64(nopoolSrv.HeapAllocBytes)/(1<<20), 1)},
+		},
+	}
+
 	rep := &Report{ID: "serving", Title: "Production load harness: tail latency under open-loop load"}
 	rep.AddNote("workload %s (%d features, %d classes), %d training iterations, threads %d",
 		w.ds.Name, w.ds.InputDim, w.ds.NumClasses, tc.Iterations, opts.Threads)
@@ -241,7 +283,8 @@ func runServing(opts Options) (*Report, error) {
 		multipliers[len(multipliers)-1], lastBase.P99Millis, lastAdm.P99Millis,
 		float64(budget.Microseconds())/1000, lastAdmRes.Shed, lastAdmRes.Sent)
 	rep.AddNote("client and server share one process and CPU set: client-observed percentiles include client-side scheduling; the server-side /stats percentiles (table) measure handler time from decode to reply")
-	rep.Tables = append(rep.Tables, goodput, cacheTab)
+	rep.AddNote("GC phase: allocation deltas are whole-process (client shares the process); the pooled row's allocs/req is dominated by the client — the server-side request path itself is pinned at 0 allocs/op by TestProcessPredictZeroAllocs")
+	rep.Tables = append(rep.Tables, goodput, cacheTab, memTab)
 	rep.Series = append(rep.Series, sBaseGood, sAdmGood, sBaseP99, sAdmP99)
 	return rep, nil
 }

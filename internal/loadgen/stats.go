@@ -24,6 +24,49 @@ type ServerStats struct {
 	CacheEntries        int     `json:"cache_entries"`
 	LatencyBudgetMillis float64 `json:"latency_budget_ms"`
 	ExpectedWaitMillis  float64 `json:"expected_wait_ms"`
+	// GC gauges (PR 9): the server-side memory story for a sweep phase.
+	// Mallocs and TotalAllocBytes are cumulative since process start —
+	// difference two snapshots (GCDelta) to get per-phase allocation
+	// rates; the pause gauges and HeapAllocBytes are instantaneous.
+	GCPauseP99Millis float64 `json:"gc_pause_p99_ms"`
+	GCPauseMaxMillis float64 `json:"gc_pause_max_ms"`
+	HeapAllocBytes   uint64  `json:"heap_alloc_bytes"`
+	NumGC            uint32  `json:"num_gc"`
+	Mallocs          uint64  `json:"mallocs"`
+	TotalAllocBytes  uint64  `json:"total_alloc_bytes"`
+}
+
+// GCDelta summarizes the garbage collector's work between two /stats
+// snapshots taken around one load phase.
+type GCDelta struct {
+	// Collections is how many GC cycles ran during the phase.
+	Collections uint32 `json:"collections"`
+	// AllocsPerRequest is heap allocations per served request —
+	// malloc-count delta over request-count delta. The whole-process
+	// numerator (the load generator cannot see per-path counters)
+	// makes it an upper bound on the request path's own allocation
+	// rate.
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	// AllocBytesPerRequest is the same ratio in bytes.
+	AllocBytesPerRequest float64 `json:"alloc_bytes_per_request"`
+}
+
+// GCDeltaBetween differences two snapshots bracketing a phase. Counter
+// resets (server restart between snapshots) yield a zero delta rather
+// than garbage.
+func GCDeltaBetween(before, after ServerStats) GCDelta {
+	var d GCDelta
+	if after.NumGC >= before.NumGC {
+		d.Collections = after.NumGC - before.NumGC
+	}
+	reqs := after.Requests - before.Requests
+	if reqs > 0 && after.Mallocs >= before.Mallocs {
+		d.AllocsPerRequest = float64(after.Mallocs-before.Mallocs) / float64(reqs)
+	}
+	if reqs > 0 && after.TotalAllocBytes >= before.TotalAllocBytes {
+		d.AllocBytesPerRequest = float64(after.TotalAllocBytes-before.TotalAllocBytes) / float64(reqs)
+	}
+	return d
 }
 
 // FetchStats reads the server's /stats endpoint.

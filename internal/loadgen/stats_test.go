@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFetchStatsTolerant: /stats bodies from newer or older servers —
+// unknown fields present, known fields absent — must decode without
+// error, so the load generator never has to be version-locked to the
+// server it drives.
+func TestFetchStatsTolerant(t *testing.T) {
+	body := `{
+		"requests": 42, "p99_ms": 1.5,
+		"gc_pause_p99_ms": 0.25, "num_gc": 7, "mallocs": 1234,
+		"total_alloc_bytes": 99999, "heap_alloc_bytes": 4096,
+		"some_future_field": {"nested": [1,2,3]},
+		"adaptive_exact": {"ewma_interarrival_ms": 2, "window_ms": 1}
+	}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(body))
+	}))
+	defer ts.Close()
+	st, err := FetchStats(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 42 || st.P99Millis != 1.5 || st.GCPauseP99Millis != 0.25 ||
+		st.NumGC != 7 || st.Mallocs != 1234 || st.TotalAllocBytes != 99999 ||
+		st.HeapAllocBytes != 4096 {
+		t.Fatalf("bad decode: %+v", st)
+	}
+}
+
+func TestGCDeltaBetween(t *testing.T) {
+	before := ServerStats{Requests: 100, NumGC: 5, Mallocs: 1000, TotalAllocBytes: 64000}
+	after := ServerStats{Requests: 300, NumGC: 9, Mallocs: 1400, TotalAllocBytes: 96000}
+	d := GCDeltaBetween(before, after)
+	if d.Collections != 4 || d.AllocsPerRequest != 2 || d.AllocBytesPerRequest != 160 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// A counter reset (restarted server) must not produce nonsense.
+	if d := GCDeltaBetween(after, before); d.Collections != 0 || d.AllocsPerRequest != 0 {
+		t.Fatalf("reset delta = %+v", d)
+	}
+}

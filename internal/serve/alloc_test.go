@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// nullResponseWriter discards the response body and reuses one header
+// map, so repeated requests through it exercise only the server's own
+// allocations, not the recorder's.
+type nullResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullResponseWriter) Header() http.Header        { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(code int)        { w.code = code }
+
+// resettableBody is a reusable request body: a bytes.Reader with a
+// no-op Close, Reset per request.
+type resettableBody struct{ bytes.Reader }
+
+func (*resettableBody) Close() error { return nil }
+
+// TestProcessPredictZeroAllocs pins the tentpole acceptance criterion:
+// the steady-state /predict request path — body read, decode,
+// validation, dispatch, predict, encode, write — performs zero heap
+// allocations per request on a reused workspace. Exact mode, cache off,
+// no batch window (the micro-batch queue hands work to another
+// goroutine, which AllocsPerRun cannot meter deterministically).
+func TestProcessPredictZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the request path")
+	}
+	s, err := New(testModel(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	data := []byte(`{"indices":[1,5,9,40],"values":[0.5,-1.25,2,0.75],"k":4}`)
+	rb := &resettableBody{}
+	req := httptest.NewRequest(http.MethodPost, "/predict", nil)
+	req.Body = rb
+	w := &nullResponseWriter{h: make(http.Header)}
+	ws := newWorkspace()
+
+	run := func() {
+		rb.Reset(data)
+		if !s.processPredict(w, req, ws) {
+			t.Fatal("processPredict reported workspace unsafe to pool")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if w.code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.code)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(ws.resp, &pr); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, ws.resp)
+	}
+	if len(pr.IDs) != 4 || pr.Mode != "exact" {
+		t.Fatalf("bad response: %+v", pr)
+	}
+	allocs := testing.AllocsPerRun(200, run)
+	if allocs != 0 {
+		t.Fatalf("steady-state /predict made %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestProcessBatchZeroAllocs extends the pin to the bulk endpoint: the
+// /predict/batch path reuses the workspace's element slots and the
+// predictor's batch result storage.
+func TestProcessBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the request path")
+	}
+	s, err := New(testModel(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	data := []byte(`{"batch":[` +
+		`{"indices":[1,5],"values":[0.5,2]},` +
+		`{"indices":[0,9,33],"values":[1,-1,0.25]}],"k":3}`)
+	rb := &resettableBody{}
+	req := httptest.NewRequest(http.MethodPost, "/predict/batch", nil)
+	req.Body = rb
+	w := &nullResponseWriter{h: make(http.Header)}
+	ws := newWorkspace()
+
+	run := func() {
+		rb.Reset(data)
+		s.processBatch(w, req, ws)
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if w.code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.code)
+	}
+	var br batchPredictResponse
+	if err := json.Unmarshal(ws.resp, &br); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, ws.resp)
+	}
+	if br.Count != 2 || len(br.Results) != 2 || len(br.Results[0].IDs) != 3 {
+		t.Fatalf("bad response: %+v", br)
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Fatalf("steady-state /predict/batch made %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestDecodePredictMatchesEncodingJSON cross-checks the hand-rolled
+// /predict decoder against encoding/json over the declared wire struct:
+// every body either fails in both decoders or yields identical fields.
+func TestDecodePredictMatchesEncodingJSON(t *testing.T) {
+	bodies := []string{
+		`{"indices":[1,2,3],"values":[0.5,1,2],"k":7}`,
+		`{}`,
+		`  { "k" : 3 , "sampled" : true } `,
+		`{"indices":null,"values":null,"k":null,"sampled":null,"seed":null,"deadline_ms":null}`,
+		`{"indices":[1],"values":[1],"unknown":{"a":[1,{"b":null}]},"k":2}`,
+		`{"k":1,"k":9}`,
+		`{"values":[1e-7,2.5e8,-0.0,1.25E+2]}`,
+		`{"seed":18446744073709551615}`,
+		`{"seed":12345,"sampled":true}`,
+		`{"deadline_ms":12.5}`,
+		`{"k":2.5}`,
+		`{"k":"3"}`,
+		`{"indices":[1.5],"values":[1]}`,
+		`{"indices":[1],"values":["x"]}`,
+		`{"indices":}`,
+		`{"indices":[1],}`,
+		`[1,2]`,
+		`{"indices":[2147483647,-2147483648],"values":[3.4e38,-3.4e38]}`,
+		`{"k":9}`,
+		`{"indices":[],"values":[]}`,
+		`{"k":3}trailing garbage`,
+		`{"sampled":false,"seed":7}`,
+	}
+	for _, body := range bodies {
+		var params predictParams
+		idx, val, err := decodePredict([]byte(body), nil, nil, &params)
+
+		var ref predictRequest
+		refErr := json.NewDecoder(bytes.NewReader([]byte(body))).Decode(&ref)
+
+		if (err != nil) != (refErr != nil) {
+			t.Errorf("%s: err=%v, encoding/json err=%v", body, err, refErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if !int32SliceEq(idx, ref.Indices) || !float32SliceEq(val, ref.Values) {
+			t.Errorf("%s: components %v/%v, want %v/%v", body, idx, val, ref.Indices, ref.Values)
+		}
+		if params.k != ref.K || params.sampled != ref.Sampled || params.deadlineMs != ref.DeadlineMs {
+			t.Errorf("%s: scalars %+v, want k=%d sampled=%v deadline=%v",
+				body, params, ref.K, ref.Sampled, ref.DeadlineMs)
+		}
+		if params.seeded != (ref.Seed != nil) || (ref.Seed != nil && params.seed != *ref.Seed) {
+			t.Errorf("%s: seed %v/%v, want %v", body, params.seeded, params.seed, ref.Seed)
+		}
+	}
+}
+
+// TestDecodePredictRoundTrip marshals random wire structs with
+// encoding/json and decodes them with the hand-rolled decoder.
+func TestDecodePredictRoundTrip(t *testing.T) {
+	r := rng.New(31)
+	var idx []int32
+	var val []float32
+	var params predictParams
+	for trial := 0; trial < 200; trial++ {
+		req := predictRequest{K: r.Intn(20) - 5, Sampled: r.Bernoulli(0.5), DeadlineMs: float64(r.Intn(100))}
+		if r.Bernoulli(0.5) {
+			seed := uint64(r.Intn(1 << 30))
+			req.Seed = &seed
+		}
+		n := r.Intn(16)
+		for i := 0; i < n; i++ {
+			req.Indices = append(req.Indices, int32(r.Intn(1<<20)-1<<19))
+			req.Values = append(req.Values, r.NormFloat32())
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, val, err = decodePredict(body, idx, val, &params)
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if !int32SliceEq(idx, req.Indices) || !float32SliceEq(val, req.Values) {
+			t.Fatalf("%s: got %v/%v", body, idx, val)
+		}
+		if params.k != req.K || params.sampled != req.Sampled ||
+			params.seeded != (req.Seed != nil) || params.deadlineMs != req.DeadlineMs {
+			t.Fatalf("%s: scalars %+v", body, params)
+		}
+	}
+}
+
+// TestDecodeBatchMatchesEncodingJSON cross-checks the /predict/batch
+// decoder the same way.
+func TestDecodeBatchMatchesEncodingJSON(t *testing.T) {
+	bodies := []string{
+		`{"batch":[{"indices":[1,2],"values":[1,2]},{"indices":[3],"values":[0.5]}],"k":4}`,
+		`{"batch":[],"k":1}`,
+		`{"batch":null}`,
+		`{"batch":[{}],"sampled":true,"seed":9}`,
+		`{"batch":[{"indices":[1],"values":[1],"extra":[[]]}],"deadline_ms":3}`,
+		`{"batch":[{"indices":[1]},{"values":[2]}]}`,
+		`{"batch":[{"indices":[1],"values":[1]}`,
+		`{"batch":{"indices":[1]}}`,
+		`{"batch":[{"indices":[1],"values":[1]}],"k":1.5}`,
+	}
+	ws := newWorkspace()
+	for _, body := range bodies {
+		err := decodeBatch([]byte(body), ws)
+
+		var ref batchPredictRequest
+		refErr := json.NewDecoder(bytes.NewReader([]byte(body))).Decode(&ref)
+
+		if (err != nil) != (refErr != nil) {
+			t.Errorf("%s: err=%v, encoding/json err=%v", body, err, refErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if ws.nBatch != len(ref.Batch) {
+			t.Errorf("%s: nBatch=%d, want %d", body, ws.nBatch, len(ref.Batch))
+			continue
+		}
+		for i, el := range ref.Batch {
+			if !int32SliceEq(ws.elemIdx[i], el.Indices) || !float32SliceEq(ws.elemVal[i], el.Values) {
+				t.Errorf("%s: element %d = %v/%v, want %v/%v",
+					body, i, ws.elemIdx[i], ws.elemVal[i], el.Indices, el.Values)
+			}
+		}
+		if ws.params.k != ref.K || ws.params.sampled != ref.Sampled ||
+			ws.params.seeded != (ref.Seed != nil) || ws.params.deadlineMs != ref.DeadlineMs {
+			t.Errorf("%s: scalars %+v", body, ws.params)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesMarshal pins byte-compatibility of the float
+// encoder with encoding/json — the property that keeps cached responses
+// (encoded by the old json path in earlier releases) byte-identical to
+// freshly encoded ones.
+func TestAppendJSONFloatMatchesMarshal(t *testing.T) {
+	cases64 := []float64{0, 1, -1, 0.5, 1e-6, 9.9e-7, 1e-7, 1e21, 9.99e20, 1e22,
+		123456789.125, -0.000001230000004, 3.141592653589793, 2.5e-308, 1.7e308,
+		math.Copysign(0, -1)}
+	for _, f := range cases64 {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f, 64); !bytes.Equal(got, want) {
+			t.Errorf("float64 %g: got %s, want %s", f, got, want)
+		}
+	}
+	cases32 := []float32{0, 1, -2.5, 1e-7, 1e-6, 3.4e38, 1.5e-45, 0.1, 16777216}
+	for _, f := range cases32 {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, float64(f), 32); !bytes.Equal(got, want) {
+			t.Errorf("float32 %g: got %s, want %s", f, got, want)
+		}
+	}
+	r := rng.New(77)
+	for trial := 0; trial < 2000; trial++ {
+		f := float64(r.NormFloat32()) * math.Pow(10, float64(r.Intn(40)-20))
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f, 64); !bytes.Equal(got, want) {
+			t.Fatalf("float64 %g: got %s, want %s", f, got, want)
+		}
+		g := r.NormFloat32() * float32(math.Pow(10, float64(r.Intn(20)-10)))
+		want, err = json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, float64(g), 32); !bytes.Equal(got, want) {
+			t.Fatalf("float32 %g: got %s, want %s", g, got, want)
+		}
+	}
+}
+
+// TestAppendResponsesMatchEncodingJSON pins the full response encoders
+// against json.Encoder over the declared response structs.
+func TestAppendResponsesMatchEncodingJSON(t *testing.T) {
+	ids := []int32{7, -1, 2147483647}
+	scores := []float32{0.5, -1.25e-8, 3}
+	got := appendPredictResponse(nil, ids, scores, "sampled", 12, 0.125)
+	want, err := encodeJSON(predictResponse{IDs: ids, Scores: scores, Mode: "sampled", BatchSize: 12, Millis: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("predict: got %s, want %s", got, want)
+	}
+
+	got = appendPredictResponse(nil, []int32{}, []float32{}, "exact", 1, 3)
+	want, _ = encodeJSON(predictResponse{IDs: []int32{}, Scores: []float32{}, Mode: "exact", BatchSize: 1, Millis: 3})
+	if !bytes.Equal(got, want) {
+		t.Errorf("predict empty: got %s, want %s", got, want)
+	}
+
+	bres := batchPredictResponse{Mode: "exact", Count: 2, Millis: 1.5}
+	bres.Results = []predictResult{
+		{IDs: []int32{1, 2}, Scores: []float32{0.25, 0.125}},
+		{IDs: []int32{9}, Scores: []float32{1e-9}},
+	}
+	got = appendBatchResponse(nil,
+		[][]int32{bres.Results[0].IDs, bres.Results[1].IDs},
+		[][]float32{bres.Results[0].Scores, bres.Results[1].Scores}, "exact", 1.5)
+	want, err = encodeJSON(bres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("batch: got %s, want %s", got, want)
+	}
+}
+
+// TestWorkspaceReuseRaceStress hammers the pooled request path from
+// concurrent clients with mixed modes, the bulk endpoint, and deadlines
+// short enough to abandon queued work — the path where a workspace must
+// leak rather than pool. Run under -race it checks the workspace
+// lifetime rule; without it, it is a liveness smoke.
+func TestWorkspaceReuseRaceStress(t *testing.T) {
+	ts := startServer(t, Options{
+		BatchWindow: 500 * time.Microsecond,
+		BatchMax:    8,
+		CacheSize:   32,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var body string
+				switch i % 4 {
+				case 0:
+					body = fmt.Sprintf(`{"indices":[%d,9],"values":[1,0.5],"k":3}`, i%50)
+				case 1:
+					body = fmt.Sprintf(`{"indices":[%d],"values":[1],"k":3,"sampled":true}`, i%50)
+				case 2:
+					body = fmt.Sprintf(`{"indices":[%d],"values":[1],"k":2,"sampled":true,"seed":%d}`, i%50, g)
+				case 3:
+					// A microsecond-scale deadline: most of these die while
+					// queued, exercising the abandon-don't-pool path.
+					body = fmt.Sprintf(`{"indices":[%d,3],"values":[1,1],"k":3,"deadline_ms":0.001}`, i%50)
+				}
+				code, _, err := tryPostPredict(ts.URL, body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch code {
+				case http.StatusOK, http.StatusGatewayTimeout, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("unexpected status %d for %s", code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func int32SliceEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func float32SliceEq(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] || math.Signbit(float64(a[i])) != math.Signbit(float64(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPprofGatedByOption: the profiling endpoints exist exactly when
+// EnablePprof is set — nothing is registered on the global mux either
+// way, so embedding servers never leak /debug/pprof by accident.
+func TestPprofGatedByOption(t *testing.T) {
+	on := startServer(t, Options{EnablePprof: true})
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d with EnablePprof", resp.StatusCode)
+	}
+	off := startServer(t, Options{})
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof index served without EnablePprof")
+	}
+}

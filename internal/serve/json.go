@@ -1,0 +1,634 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unsafe"
+)
+
+// This file is the hand-rolled request/response codec for the serving
+// hot path. encoding/json cannot decode into reused buffers without
+// per-call allocations (Decoder state, reflection scratch, fresh result
+// slices), and its Encoder allocates per Encode; the cursor parser and
+// append-style encoders here read from and write into workspace-owned
+// memory so a steady-state request allocates nothing. Semantics track
+// encoding/json where clients can observe them: unknown fields are
+// skipped, null leaves the field at its zero value, duplicate keys last
+// win, integer fields reject fractional literals, and floats render in
+// the exact byte format json.Marshal uses (so cached bodies replay
+// byte-identically across the codec swap).
+
+// jsonCursor is a zero-allocation scanner over one JSON document.
+type jsonCursor struct {
+	b []byte
+	i int
+}
+
+// maxJSONDepth bounds skipValue recursion so a pathologically nested
+// body cannot exhaust the goroutine stack.
+const maxJSONDepth = 512
+
+// bstr views b as a string without copying, for strconv parsing only —
+// the string must not outlive the underlying buffer.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+func (c *jsonCursor) skipWS() {
+	for c.i < len(c.b) {
+		switch c.b[c.i] {
+		case ' ', '\t', '\n', '\r':
+			c.i++
+		default:
+			return
+		}
+	}
+}
+
+// peek returns the current byte, or 0 at end of input.
+func (c *jsonCursor) peek() byte {
+	if c.i < len(c.b) {
+		return c.b[c.i]
+	}
+	return 0
+}
+
+func (c *jsonCursor) expect(ch byte) error {
+	if c.i >= len(c.b) {
+		return fmt.Errorf("unexpected end of JSON input, want %q", ch)
+	}
+	if c.b[c.i] != ch {
+		return fmt.Errorf("invalid character %q at offset %d, want %q", c.b[c.i], c.i, ch)
+	}
+	c.i++
+	return nil
+}
+
+// parseString scans one JSON string and returns its raw contents.
+// Strings containing escapes report escaped=true with nil raw — the
+// request keys this codec matches are plain ASCII, so an escaped key is
+// simply treated as unknown rather than unescaped.
+func (c *jsonCursor) parseString() (raw []byte, escaped bool, err error) {
+	if err := c.expect('"'); err != nil {
+		return nil, false, err
+	}
+	start := c.i
+	for c.i < len(c.b) {
+		switch c.b[c.i] {
+		case '"':
+			raw = c.b[start:c.i]
+			c.i++
+			if escaped {
+				return nil, true, nil
+			}
+			return raw, false, nil
+		case '\\':
+			escaped = true
+			c.i++
+			if c.i < len(c.b) {
+				c.i++
+			}
+		default:
+			c.i++
+		}
+	}
+	return nil, false, fmt.Errorf("unterminated string literal")
+}
+
+// tryNull consumes a null literal if one is next, reporting whether it
+// did. JSON null leaves the target field at its zero value, as
+// encoding/json does.
+func (c *jsonCursor) tryNull() bool {
+	if c.i+4 <= len(c.b) && string(c.b[c.i:c.i+4]) == "null" {
+		c.i += 4
+		return true
+	}
+	return false
+}
+
+func (c *jsonCursor) parseBool() (bool, error) {
+	if c.i+4 <= len(c.b) && string(c.b[c.i:c.i+4]) == "true" {
+		c.i += 4
+		return true, nil
+	}
+	if c.i+5 <= len(c.b) && string(c.b[c.i:c.i+5]) == "false" {
+		c.i += 5
+		return false, nil
+	}
+	return false, fmt.Errorf("invalid boolean literal at offset %d", c.i)
+}
+
+// scanNumber returns the raw bytes of one JSON number literal.
+func (c *jsonCursor) scanNumber() ([]byte, error) {
+	start := c.i
+	for c.i < len(c.b) {
+		switch ch := c.b[c.i]; {
+		case ch >= '0' && ch <= '9', ch == '-', ch == '+', ch == '.', ch == 'e', ch == 'E':
+			c.i++
+		default:
+			goto done
+		}
+	}
+done:
+	if c.i == start {
+		return nil, fmt.Errorf("invalid number literal at offset %d", start)
+	}
+	return c.b[start:c.i], nil
+}
+
+func (c *jsonCursor) parseFloat64() (float64, error) {
+	raw, err := c.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(bstr(raw), 64)
+}
+
+// parseInt rejects fractional and exponent forms, as encoding/json does
+// when decoding into an integer field.
+func (c *jsonCursor) parseInt(bits int) (int64, error) {
+	raw, err := c.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(bstr(raw), 10, bits)
+}
+
+func (c *jsonCursor) parseUint64() (uint64, error) {
+	raw, err := c.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(bstr(raw), 10, 64)
+}
+
+// parseInt32Array appends one JSON array of integers into out.
+func (c *jsonCursor) parseInt32Array(out []int32) ([]int32, error) {
+	if c.tryNull() {
+		return out, nil
+	}
+	if err := c.expect('['); err != nil {
+		return out, err
+	}
+	c.skipWS()
+	if c.peek() == ']' {
+		c.i++
+		return out, nil
+	}
+	for {
+		c.skipWS()
+		v, err := c.parseInt(32)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, int32(v))
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case ']':
+			c.i++
+			return out, nil
+		default:
+			return out, fmt.Errorf("invalid character %q in array at offset %d", c.peek(), c.i)
+		}
+	}
+}
+
+// parseFloat32Array appends one JSON array of numbers into out.
+func (c *jsonCursor) parseFloat32Array(out []float32) ([]float32, error) {
+	if c.tryNull() {
+		return out, nil
+	}
+	if err := c.expect('['); err != nil {
+		return out, err
+	}
+	c.skipWS()
+	if c.peek() == ']' {
+		c.i++
+		return out, nil
+	}
+	for {
+		c.skipWS()
+		raw, err := c.scanNumber()
+		if err != nil {
+			return out, err
+		}
+		v, err := strconv.ParseFloat(bstr(raw), 32)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, float32(v))
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case ']':
+			c.i++
+			return out, nil
+		default:
+			return out, fmt.Errorf("invalid character %q in array at offset %d", c.peek(), c.i)
+		}
+	}
+}
+
+// skipValue consumes one JSON value of any type — how unknown fields are
+// ignored without building anything.
+func (c *jsonCursor) skipValue(depth int) error {
+	if depth > maxJSONDepth {
+		return fmt.Errorf("JSON nesting exceeds %d levels", maxJSONDepth)
+	}
+	c.skipWS()
+	switch ch := c.peek(); {
+	case ch == '"':
+		_, _, err := c.parseString()
+		return err
+	case ch == '{':
+		c.i++
+		c.skipWS()
+		if c.peek() == '}' {
+			c.i++
+			return nil
+		}
+		for {
+			c.skipWS()
+			if _, _, err := c.parseString(); err != nil {
+				return err
+			}
+			c.skipWS()
+			if err := c.expect(':'); err != nil {
+				return err
+			}
+			if err := c.skipValue(depth + 1); err != nil {
+				return err
+			}
+			c.skipWS()
+			switch c.peek() {
+			case ',':
+				c.i++
+			case '}':
+				c.i++
+				return nil
+			default:
+				return fmt.Errorf("invalid character %q in object at offset %d", c.peek(), c.i)
+			}
+		}
+	case ch == '[':
+		c.i++
+		c.skipWS()
+		if c.peek() == ']' {
+			c.i++
+			return nil
+		}
+		for {
+			if err := c.skipValue(depth + 1); err != nil {
+				return err
+			}
+			c.skipWS()
+			switch c.peek() {
+			case ',':
+				c.i++
+			case ']':
+				c.i++
+				return nil
+			default:
+				return fmt.Errorf("invalid character %q in array at offset %d", c.peek(), c.i)
+			}
+		}
+	case ch == 't' || ch == 'f':
+		_, err := c.parseBool()
+		return err
+	case ch == 'n':
+		if c.tryNull() {
+			return nil
+		}
+		return fmt.Errorf("invalid literal at offset %d", c.i)
+	case ch == '-' || (ch >= '0' && ch <= '9'):
+		_, err := c.scanNumber()
+		return err
+	default:
+		return fmt.Errorf("invalid character %q looking for value at offset %d", ch, c.i)
+	}
+}
+
+// predictParams carries the scalar fields of a /predict or
+// /predict/batch body; the component arrays land in workspace buffers.
+type predictParams struct {
+	k          int
+	sampled    bool
+	seeded     bool
+	seed       uint64
+	deadlineMs float64
+}
+
+// decodePredict parses a /predict body: indices/values append into
+// idx/val (capacity reused across requests), scalars land in p. Trailing
+// bytes after the top-level object are ignored, as json.Decoder.Decode
+// ignores them.
+func decodePredict(body []byte, idx []int32, val []float32, p *predictParams) ([]int32, []float32, error) {
+	*p = predictParams{}
+	idx, val = idx[:0], val[:0]
+	c := jsonCursor{b: body}
+	c.skipWS()
+	if err := c.expect('{'); err != nil {
+		return idx, val, err
+	}
+	c.skipWS()
+	if c.peek() == '}' {
+		return idx, val, nil
+	}
+	for {
+		c.skipWS()
+		key, escaped, err := c.parseString()
+		if err != nil {
+			return idx, val, err
+		}
+		c.skipWS()
+		if err := c.expect(':'); err != nil {
+			return idx, val, err
+		}
+		c.skipWS()
+		if escaped {
+			err = c.skipValue(0)
+		} else {
+			switch bstr(key) {
+			case "indices":
+				idx, err = c.parseInt32Array(idx[:0])
+			case "values":
+				val, err = c.parseFloat32Array(val[:0])
+			case "k":
+				if !c.tryNull() {
+					var v int64
+					v, err = c.parseInt(0)
+					p.k = int(v)
+				}
+			case "sampled":
+				if !c.tryNull() {
+					p.sampled, err = c.parseBool()
+				}
+			case "seed":
+				if !c.tryNull() {
+					p.seed, err = c.parseUint64()
+					p.seeded = err == nil
+				}
+			case "deadline_ms":
+				if !c.tryNull() {
+					p.deadlineMs, err = c.parseFloat64()
+				}
+			default:
+				err = c.skipValue(0)
+			}
+		}
+		if err != nil {
+			return idx, val, err
+		}
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case '}':
+			c.i++
+			return idx, val, nil
+		default:
+			return idx, val, fmt.Errorf("invalid character %q after object field at offset %d", c.peek(), c.i)
+		}
+	}
+}
+
+// decodeBatch parses a /predict/batch body. Element component lists land
+// in ws.elemIdx/ws.elemVal (per-slot buffers reused across requests),
+// the element count in ws.nBatch, scalars in ws.params.
+func decodeBatch(body []byte, ws *reqWorkspace) error {
+	ws.params = predictParams{}
+	ws.nBatch = 0
+	c := jsonCursor{b: body}
+	c.skipWS()
+	if err := c.expect('{'); err != nil {
+		return err
+	}
+	c.skipWS()
+	if c.peek() == '}' {
+		return nil
+	}
+	for {
+		c.skipWS()
+		key, escaped, err := c.parseString()
+		if err != nil {
+			return err
+		}
+		c.skipWS()
+		if err := c.expect(':'); err != nil {
+			return err
+		}
+		c.skipWS()
+		if escaped {
+			err = c.skipValue(0)
+		} else {
+			switch bstr(key) {
+			case "batch":
+				err = c.parseBatchElements(ws)
+			case "k":
+				if !c.tryNull() {
+					var v int64
+					v, err = c.parseInt(0)
+					ws.params.k = int(v)
+				}
+			case "sampled":
+				if !c.tryNull() {
+					ws.params.sampled, err = c.parseBool()
+				}
+			case "seed":
+				if !c.tryNull() {
+					ws.params.seed, err = c.parseUint64()
+					ws.params.seeded = err == nil
+				}
+			case "deadline_ms":
+				if !c.tryNull() {
+					ws.params.deadlineMs, err = c.parseFloat64()
+				}
+			default:
+				err = c.skipValue(0)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case '}':
+			c.i++
+			return nil
+		default:
+			return fmt.Errorf("invalid character %q after object field at offset %d", c.peek(), c.i)
+		}
+	}
+}
+
+// parseBatchElements parses the "batch" array of {indices, values}
+// objects into the workspace's per-slot element buffers.
+func (c *jsonCursor) parseBatchElements(ws *reqWorkspace) error {
+	if c.tryNull() {
+		return nil
+	}
+	if err := c.expect('['); err != nil {
+		return err
+	}
+	c.skipWS()
+	if c.peek() == ']' {
+		c.i++
+		return nil
+	}
+	for {
+		c.skipWS()
+		n := ws.nBatch
+		if n >= len(ws.elemIdx) {
+			ws.elemIdx = append(ws.elemIdx, nil)
+			ws.elemVal = append(ws.elemVal, nil)
+		}
+		ws.elemIdx[n] = ws.elemIdx[n][:0]
+		ws.elemVal[n] = ws.elemVal[n][:0]
+		if err := c.expect('{'); err != nil {
+			return err
+		}
+		c.skipWS()
+		if c.peek() == '}' {
+			c.i++
+		} else {
+			for {
+				c.skipWS()
+				key, escaped, err := c.parseString()
+				if err != nil {
+					return err
+				}
+				c.skipWS()
+				if err := c.expect(':'); err != nil {
+					return err
+				}
+				c.skipWS()
+				if escaped {
+					err = c.skipValue(0)
+				} else {
+					switch bstr(key) {
+					case "indices":
+						ws.elemIdx[n], err = c.parseInt32Array(ws.elemIdx[n][:0])
+					case "values":
+						ws.elemVal[n], err = c.parseFloat32Array(ws.elemVal[n][:0])
+					default:
+						err = c.skipValue(0)
+					}
+				}
+				if err != nil {
+					return err
+				}
+				c.skipWS()
+				if c.peek() == ',' {
+					c.i++
+					continue
+				}
+				if err := c.expect('}'); err != nil {
+					return err
+				}
+				break
+			}
+		}
+		ws.nBatch++
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case ']':
+			c.i++
+			return nil
+		default:
+			return fmt.Errorf("invalid character %q in batch array at offset %d", c.peek(), c.i)
+		}
+	}
+}
+
+// appendJSONFloat renders f exactly as encoding/json does (shortest
+// representation, 'f' format inside [1e-6, 1e21), 'e' outside with the
+// exponent's leading zero stripped), so hand-encoded bodies are
+// byte-identical to what json.Marshal produced before this codec.
+// NaN/Inf — which json.Marshal rejects — render as 0.
+func appendJSONFloat(dst []byte, f float64, bits int) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 {
+		if bits == 64 && (abs < 1e-6 || abs >= 1e21) ||
+			bits == 32 && (float32(abs) < 1e-6 || float32(abs) >= 1e21) {
+			format = 'e'
+		}
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, bits)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendResult appends `"ids":[...],"scores":[...]` for one prediction.
+func appendResult(dst []byte, ids []int32, scores []float32) []byte {
+	dst = append(dst, `"ids":[`...)
+	for i, id := range ids {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(id), 10)
+	}
+	dst = append(dst, `],"scores":[`...)
+	for i, v := range scores {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONFloat(dst, float64(v), 32)
+	}
+	return append(dst, ']')
+}
+
+// appendPredictResponse renders the /predict response body, trailing
+// newline included, matching json.Encoder's encoding of predictResponse
+// field for field.
+func appendPredictResponse(dst []byte, ids []int32, scores []float32, mode string, batchSize int, ms float64) []byte {
+	dst = append(dst, '{')
+	dst = appendResult(dst, ids, scores)
+	dst = append(dst, `,"mode":"`...)
+	dst = append(dst, mode...)
+	dst = append(dst, `","batch_size":`...)
+	dst = strconv.AppendInt(dst, int64(batchSize), 10)
+	dst = append(dst, `,"ms":`...)
+	dst = appendJSONFloat(dst, ms, 64)
+	return append(dst, '}', '\n')
+}
+
+// appendBatchResponse renders the /predict/batch response body,
+// matching json.Encoder's encoding of batchPredictResponse.
+func appendBatchResponse(dst []byte, ids [][]int32, scores [][]float32, mode string, ms float64) []byte {
+	dst = append(dst, `{"results":[`...)
+	for i := range ids {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, '{')
+		dst = appendResult(dst, ids[i], scores[i])
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `],"mode":"`...)
+	dst = append(dst, mode...)
+	dst = append(dst, `","count":`...)
+	dst = strconv.AppendInt(dst, int64(len(ids)), 10)
+	dst = append(dst, `,"ms":`...)
+	dst = appendJSONFloat(dst, ms, 64)
+	return append(dst, '}', '\n')
+}

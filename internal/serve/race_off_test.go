@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the AllocsPerRun pins only run without it.
+const raceEnabled = false

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -66,6 +67,22 @@ type Options struct {
 	// cached and replayed byte-identically until the next engine swap.
 	// 0 disables the cache.
 	CacheSize int
+	// MaxBodyBytes caps the /predict request body; /predict/batch allows
+	// 16x it (bulk bodies carry up to BatchBodyMax vectors) and /reload
+	// a quarter (its body is one path). 0 keeps the 4 MiB default, which
+	// preserves the previous hard-coded 4/64/1 MiB caps.
+	MaxBodyBytes int64
+	// NoPooling disables the per-request workspace pool: every request
+	// allocates its decode scratch, vector components, result slices and
+	// response buffer fresh. It exists for measurement — the serving
+	// harness drives the same operating points with pooling on and off
+	// to record the GC-pause trajectory this PR buys — not for
+	// production use.
+	NoPooling bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's own mux (nothing is registered globally), for heap and
+	// allocation profiling against a live server.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +97,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchBodyMax <= 0 {
 		o.BatchBodyMax = 1024
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 22
 	}
 	return o
 }
@@ -133,6 +153,31 @@ type Server struct {
 	// window is sized from the arrival rate of its own mode rather than
 	// a blended estimate that overstates both.
 	arrivals [2]arrivalEstimator
+
+	// wsPool recycles per-request workspaces (see workspace.go); it is
+	// per-server so Options.NoPooling stays a per-server decision.
+	wsPool sync.Pool
+
+	// Batcher-owned scratch, touched only from the batchLoop goroutine
+	// (runBatch callers): the gather slice, the reused gather timer, the
+	// per-batch (engine, mode) group partition, the seeded side list,
+	// the group input vectors, and the predictor's reusable batch result
+	// storage. Reusing them makes a steady-state micro-batch cycle
+	// allocation-free.
+	gather      []*pendingReq
+	gatherTimer *time.Timer
+	groups      []reqGroup
+	seededReqs  []*pendingReq
+	groupXs     []sparse.Vector
+	batchRes    core.BatchResults
+}
+
+// reqGroup is one (engine, mode) partition of a gathered micro-batch;
+// the slice of groups and each group's request list are reused across
+// batches.
+type reqGroup struct {
+	key  batchGroup
+	reqs []*pendingReq
 }
 
 // modeIdx indexes per-mode state: 0 exact, 1 sampled.
@@ -161,6 +206,13 @@ type pendingReq struct {
 	// group's deadlines so PredictBatch cancels doomed fan-outs.
 	deadline time.Time
 	reply    chan batchReply
+	// ids/scores are the request's result buffers, owned by its
+	// workspace and reused across requests: runOne predicts straight
+	// into them, and the batcher copies its group's shared results into
+	// them before replying, so the reply never aliases scratch another
+	// request might reuse.
+	ids    []int32
+	scores []float32
 }
 
 type batchReply struct {
@@ -213,6 +265,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -251,6 +310,11 @@ func requestDeadline(bodyMs float64, h http.Header) (time.Duration, error) {
 // are always deterministic; seed is ignored for them. An optional
 // deadline_ms bounds how long the caller will wait: work that cannot
 // finish inside it is cancelled (504) instead of computed.
+//
+// The handler no longer decodes into this struct — decodePredict
+// (json.go) parses the same schema into pooled workspace buffers — but
+// it remains the authoritative wire-format declaration, and the codec
+// tests cross-check the hand-rolled parser against it.
 type predictRequest struct {
 	Indices    []int32   `json:"indices"`
 	Values     []float32 `json:"values"`
@@ -269,44 +333,69 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ws := s.getWorkspace()
+	if s.processPredict(w, r, ws) {
+		s.putWorkspace(ws)
+	}
+}
+
+// processPredict serves one /predict on a checked-out workspace. It is
+// the whole request path below the net/http connection layer — body
+// read, decode, validation, cache, admission, dispatch, encode, write —
+// and on the steady-state cache-miss path it performs zero heap
+// allocations (the regression test pins exactly this seam). The return
+// value reports whether ws is safe to pool again: false exactly when
+// the request was abandoned after joining the micro-batch queue, so the
+// batcher may still write into ws's buffers and send on its reply
+// channel.
+func (s *Server) processPredict(w http.ResponseWriter, r *http.Request, ws *reqWorkspace) bool {
 	t0 := time.Now()
-	var req predictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22)).Decode(&req); err != nil {
+	var err error
+	ws.body, err = readBody(r.Body, ws.body, s.opts.MaxBodyBytes)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
+		return true
 	}
-	if len(req.Indices) != len(req.Values) {
-		httpError(w, http.StatusBadRequest, "%d indices but %d values", len(req.Indices), len(req.Values))
-		return
+	ws.idx, ws.val, err = decodePredict(ws.body, ws.idx, ws.val, &ws.params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return true
 	}
-	if len(req.Indices) == 0 {
+	if len(ws.idx) != len(ws.val) {
+		httpError(w, http.StatusBadRequest, "%d indices but %d values", len(ws.idx), len(ws.val))
+		return true
+	}
+	if len(ws.idx) == 0 {
 		httpError(w, http.StatusBadRequest, "empty feature vector")
-		return
+		return true
 	}
-	k := req.K
+	k := ws.params.k
 	if k <= 0 {
 		k = s.opts.DefaultK
 	}
 	if k > s.opts.MaxK {
 		k = s.opts.MaxK
 	}
-	budget, err := requestDeadline(req.DeadlineMs, r.Header)
+	budget, err := requestDeadline(ws.params.deadlineMs, r.Header)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return true
 	}
 	eng := s.eng.Load()
-	x, err := sparse.New(eng.net.Config().InputDim, req.Indices, req.Values)
+	// View, not New: well-formed component lists become a zero-copy
+	// vector over the workspace's buffers (ill-formed ones fall back to
+	// the copying, validating constructor).
+	x, err := sparse.View(eng.net.Config().InputDim, ws.idx, ws.val)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad feature vector: %v", err)
-		return
+		return true
 	}
 
-	p := &pendingReq{eng: eng, x: x, k: k, sampled: req.Sampled, reply: make(chan batchReply, 1)}
-	if req.Seed != nil {
-		p.seeded = true
-		p.seed = *req.Seed
-	}
+	p := &ws.pr
+	p.eng, p.x, p.k, p.sampled = eng, x, k, ws.params.sampled
+	p.seeded = ws.params.sampled && ws.params.seeded
+	p.seed = ws.params.seed
+	p.deadline = time.Time{}
 	ctx := r.Context()
 	if budget > 0 {
 		p.deadline = t0.Add(budget)
@@ -329,7 +418,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			s.stats.record(float64(time.Since(t0).Microseconds())/1000, 1)
 			w.Header().Set("X-Cache", "hit")
 			writeRawJSON(w, http.StatusOK, body)
-			return
+			return true
 		}
 		s.stats.cacheMisses.Add(1)
 		w.Header().Set("X-Cache", "miss")
@@ -345,7 +434,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests,
 			"shed: expected wait %.1fms exceeds latency budget %.1fms",
 			float64(wait.Microseconds())/1000, float64(s.opts.LatencyBudget.Microseconds())/1000)
-		return
+		return true
 	}
 	s.adm.start(1)
 	defer s.adm.done(1)
@@ -370,25 +459,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		case s.reqCh <- p:
 		case <-s.done:
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
-			return
+			return true
 		case <-ctx.Done():
 			s.replyCancelled(w, ctx, "cancelled while queued")
-			return
+			return true
 		}
 		select {
 		case rep = <-p.reply:
 		case <-s.done:
 			// Shutdown raced our enqueue past the batcher's final
 			// drain; answer rather than wait on a reply that may
-			// never come.
+			// never come. The workspace stays out of the pool: the
+			// batcher may still reply into it.
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
-			return
+			return false
 		case <-ctx.Done():
 			// The batcher will still complete (or prune) the work and
 			// drop the buffered reply; the client has gone away or run
-			// out of deadline.
+			// out of deadline. The workspace is leaked to the garbage
+			// collector rather than pooled — the batcher may still
+			// write into its buffers.
 			s.replyCancelled(w, ctx, "cancelled")
-			return
+			return false
 		}
 	} else {
 		rep = s.runOne(ctx, p)
@@ -397,37 +489,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(rep.err, context.DeadlineExceeded) {
 			s.stats.deadlineExceeded.Add(1)
 			httpError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", rep.err)
-			return
+			return true
 		}
 		if errors.Is(rep.err, context.Canceled) {
 			httpError(w, http.StatusServiceUnavailable, "cancelled: %v", rep.err)
-			return
+			return true
 		}
 		httpError(w, http.StatusInternalServerError, "predict: %v", rep.err)
-		return
+		return true
 	}
 
 	mode := "exact"
-	if req.Sampled {
+	if p.sampled {
 		mode = "sampled"
 	}
 	s.adm.observeSojourn(time.Since(t0))
 	ms := float64(time.Since(t0).Microseconds()) / 1000
 	s.stats.record(ms, rep.batchSize)
-	resp := predictResponse{
-		IDs: rep.ids, Scores: rep.scores, Mode: mode, BatchSize: rep.batchSize, Millis: ms,
-	}
+	ws.resp = appendPredictResponse(ws.resp[:0], rep.ids, rep.scores, mode, rep.batchSize, ms)
 	if cacheable {
-		body, err := encodeJSON(resp)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
-			return
-		}
-		s.cache.put(key, body)
-		writeRawJSON(w, http.StatusOK, body)
-		return
+		// The cache owns its copy: ws.resp is workspace scratch and will
+		// be overwritten by the next request this workspace serves.
+		s.cache.put(key, append([]byte(nil), ws.resp...))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeRawJSON(w, http.StatusOK, ws.resp)
+	return true
 }
 
 // replyCancelled maps a dead request context to the right status: 504
@@ -457,7 +543,8 @@ func retryAfterSeconds(wait time.Duration) string {
 // PredictBatch fan-out directly — no micro-batch gathering window, no
 // per-vector HTTP overhead. With a seed, element i is seeded
 // deterministically from seed and i exactly as PredictBatchSampled
-// documents.
+// documents. Decoded by decodeBatch (json.go) into pooled workspace
+// buffers; the struct remains the wire-format declaration.
 type batchPredictRequest struct {
 	Batch []struct {
 		Indices []int32   `json:"indices"`
@@ -482,51 +569,73 @@ type predictResult struct {
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	ws := s.getWorkspace()
+	s.processBatch(w, r, ws)
+	// The bulk path is fully synchronous — nothing escapes the call —
+	// so the workspace is always safe to pool again.
+	s.putWorkspace(ws)
+}
+
+// processBatch serves one /predict/batch on a checked-out workspace:
+// element component lists parse into per-slot buffers, the fan-out
+// writes into the workspace's BatchResults, and the response encodes
+// into the workspace's buffer — allocation-free at steady state for
+// repeat batch shapes (modulo the fan-out goroutines on multi-core).
+func (s *Server) processBatch(w http.ResponseWriter, r *http.Request, ws *reqWorkspace) {
 	t0 := time.Now()
-	var req batchPredictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<26)).Decode(&req); err != nil {
+	var err error
+	ws.body, err = readBody(r.Body, ws.body, 16*s.opts.MaxBodyBytes)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if len(req.Batch) == 0 {
+	if err := decodeBatch(ws.body, ws); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if ws.nBatch == 0 {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	if len(req.Batch) > s.opts.BatchBodyMax {
-		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), s.opts.BatchBodyMax)
+	if ws.nBatch > s.opts.BatchBodyMax {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", ws.nBatch, s.opts.BatchBodyMax)
 		return
 	}
-	k := req.K
+	k := ws.params.k
 	if k <= 0 {
 		k = s.opts.DefaultK
 	}
 	if k > s.opts.MaxK {
 		k = s.opts.MaxK
 	}
-	budget, err := requestDeadline(req.DeadlineMs, r.Header)
+	budget, err := requestDeadline(ws.params.deadlineMs, r.Header)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	eng := s.eng.Load()
 	dim := eng.net.Config().InputDim
-	xs := make([]sparse.Vector, len(req.Batch))
-	for i, el := range req.Batch {
-		if len(el.Indices) != len(el.Values) {
-			httpError(w, http.StatusBadRequest, "element %d: %d indices but %d values", i, len(el.Indices), len(el.Values))
+	if cap(ws.xs) < ws.nBatch {
+		ws.xs = make([]sparse.Vector, 0, ws.nBatch)
+	}
+	ws.xs = ws.xs[:0]
+	for i := 0; i < ws.nBatch; i++ {
+		if len(ws.elemIdx[i]) != len(ws.elemVal[i]) {
+			httpError(w, http.StatusBadRequest, "element %d: %d indices but %d values", i, len(ws.elemIdx[i]), len(ws.elemVal[i]))
 			return
 		}
-		if len(el.Indices) == 0 {
+		if len(ws.elemIdx[i]) == 0 {
 			httpError(w, http.StatusBadRequest, "element %d: empty feature vector", i)
 			return
 		}
-		x, err := sparse.New(dim, el.Indices, el.Values)
+		x, err := sparse.View(dim, ws.elemIdx[i], ws.elemVal[i])
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "element %d: bad feature vector: %v", i, err)
 			return
 		}
-		xs[i] = x
+		ws.xs = append(ws.xs, x)
 	}
+	xs := ws.xs
 
 	// Admission weighs the bulk body by its element count: a 100-vector
 	// batch displaces 100 queued singles' worth of service time.
@@ -548,18 +657,16 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	var ids [][]int32
-	var scores [][]float32
 	mode := "exact"
 	switch {
-	case req.Sampled && req.Seed != nil:
+	case ws.params.sampled && ws.params.seeded:
 		mode = "sampled"
-		ids, scores, err = eng.pred.PredictBatchSampled(ctx, xs, k, core.PredictOpts{Seed: *req.Seed})
-	case req.Sampled:
+		err = eng.pred.PredictBatchInto(ctx, xs, k, true, &ws.res, core.PredictOpts{Seed: ws.params.seed})
+	case ws.params.sampled:
 		mode = "sampled"
-		ids, scores, err = eng.pred.PredictBatchSampled(ctx, xs, k)
+		err = eng.pred.PredictBatchInto(ctx, xs, k, true, &ws.res)
 	default:
-		ids, scores, err = eng.pred.PredictBatch(ctx, xs, k)
+		err = eng.pred.PredictBatchInto(ctx, xs, k, false, &ws.res)
 	}
 	dur := time.Since(t0)
 	if err == nil {
@@ -580,15 +687,10 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results := make([]predictResult, len(xs))
-	for i := range results {
-		results[i] = predictResult{IDs: ids[i], Scores: scores[i]}
-	}
 	ms := float64(dur.Microseconds()) / 1000
 	s.stats.record(ms, len(xs))
-	writeJSON(w, http.StatusOK, batchPredictResponse{
-		Results: results, Mode: mode, Count: len(xs), Millis: ms,
-	})
+	ws.resp = appendBatchResponse(ws.resp[:0], ws.res.IDs, ws.res.Scores, mode, ms)
+	writeRawJSON(w, http.StatusOK, ws.resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -623,7 +725,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	// An empty body means "reload the default model"; io.EOF (rather
 	// than ContentLength, which chunked encoding reports as -1) is how
 	// the decoder says the body was empty.
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes/4)).Decode(&req); err != nil && err != io.EOF {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -725,6 +827,7 @@ func (s *Server) WatchSIGHUP(logf func(format string, args ...any)) (stop func()
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.stats.snapshot()
+	fillGCStats(&snap)
 	if s.opts.LatencyBudget > 0 {
 		snap.LatencyBudgetMillis = float64(s.opts.LatencyBudget.Microseconds()) / 1000
 		snap.ExpectedWaitMillis = float64(s.adm.expectedWait(0).Microseconds()) / 1000
@@ -768,7 +871,10 @@ func (s *Server) batchLoop() {
 			s.drain()
 			return
 		}
-		batch := []*pendingReq{first}
+		// The gather slice and timer are reused across batches (batchLoop
+		// is the only goroutine touching them), so a steady-state batch
+		// cycle allocates nothing.
+		batch := append(s.gather[:0], first)
 		window := s.opts.BatchWindow
 		if s.opts.AdaptiveWindow {
 			// The window is sized for the mode that opened the batch:
@@ -789,23 +895,39 @@ func (s *Server) batchLoop() {
 					break gatherNow
 				}
 			}
+			s.gather = batch
 			s.runBatch(batch)
+			clear(batch)
 			continue
 		}
-		timer := time.NewTimer(window)
+		if s.gatherTimer == nil {
+			s.gatherTimer = time.NewTimer(window)
+		} else {
+			// Safe to Reset directly: after every gather the timer is
+			// either consumed (fired) or stopped-and-drained below.
+			s.gatherTimer.Reset(window)
+		}
+		fired := false
 	gather:
 		for len(batch) < s.opts.BatchMax {
 			select {
 			case r := <-s.reqCh:
 				batch = append(batch, r)
-			case <-timer.C:
+			case <-s.gatherTimer.C:
+				fired = true
 				break gather
 			case <-s.done:
 				break gather
 			}
 		}
-		timer.Stop()
+		if !fired && !s.gatherTimer.Stop() {
+			<-s.gatherTimer.C
+		}
+		s.gather = batch
 		s.runBatch(batch)
+		// Drop request pointers so the retired gather slice does not pin
+		// workspaces until the next batch overwrites it.
+		clear(batch)
 	}
 }
 
@@ -945,8 +1067,12 @@ func groupContext(group []*pendingReq) (context.Context, context.CancelFunc) {
 // never depends on what else happened to share the micro-batch.
 func (s *Server) runBatch(batch []*pendingReq) {
 	now := time.Now()
-	groups := make(map[batchGroup][]*pendingReq)
-	var seeded []*pendingReq
+	// Partition into the server's reused group scratch: the group count
+	// is tiny (modes × engines live in one window), so a linear key scan
+	// replaces the per-batch map allocation.
+	groups := s.groups[:0]
+	seeded := s.seededReqs[:0]
+nextReq:
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			r.reply <- batchReply{err: context.DeadlineExceeded}
@@ -957,7 +1083,21 @@ func (s *Server) runBatch(batch []*pendingReq) {
 			continue
 		}
 		key := batchGroup{eng: r.eng, sampled: r.sampled}
-		groups[key] = append(groups[key], r)
+		for gi := range groups {
+			if groups[gi].key == key {
+				groups[gi].reqs = append(groups[gi].reqs, r)
+				continue nextReq
+			}
+		}
+		if len(groups) < cap(groups) {
+			// Reuse the retired group slot's request slice capacity.
+			groups = groups[:len(groups)+1]
+			g := &groups[len(groups)-1]
+			g.key = key
+			g.reqs = append(g.reqs[:0], r)
+		} else {
+			groups = append(groups, reqGroup{key: key, reqs: []*pendingReq{r}})
+		}
 	}
 	// Bounded fan-out: each in-flight seeded prediction holds a pooled
 	// worker state, so cap concurrency at GOMAXPROCS rather than one
@@ -971,33 +1111,34 @@ func (s *Server) runBatch(batch []*pendingReq) {
 			for i := w; i < len(seeded); i += workers {
 				r := seeded[i]
 				t0 := time.Now()
-				ids, scores, err := r.eng.pred.PredictSampled(r.x, r.k, core.PredictOpts{Seed: r.seed})
+				var err error
+				r.ids, r.scores, err = r.eng.pred.TopKWithScoresInto(
+					context.Background(), r.x, r.k, true, r.ids, r.scores, core.PredictOpts{Seed: r.seed})
 				if err == nil {
 					s.adm.observe(time.Since(t0), 1)
 				}
-				r.reply <- batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
+				r.reply <- batchReply{ids: r.ids, scores: r.scores, batchSize: 1, err: err}
 			}
 		}(w)
 	}
-	for key, group := range groups {
-		xs := make([]sparse.Vector, len(group))
+	for gi := range groups {
+		key, group := groups[gi].key, groups[gi].reqs
+		xs := s.groupXs[:0]
 		maxK := 0
-		for j, r := range group {
-			xs[j] = r.x
+		for _, r := range group {
+			xs = append(xs, r.x)
 			if r.k > maxK {
 				maxK = r.k
 			}
 		}
+		s.groupXs = xs
 		ctx, cancel := groupContext(group)
-		var ids [][]int32
-		var scores [][]float32
-		var err error
 		t0 := time.Now()
-		if key.sampled {
-			ids, scores, err = key.eng.pred.PredictBatchSampled(ctx, xs, maxK)
-		} else {
-			ids, scores, err = key.eng.pred.PredictBatch(ctx, xs, maxK)
-		}
+		// The fan-out writes into the batcher's reusable result storage;
+		// each request then copies its trimmed slice into its own
+		// workspace buffers before the reply, so nothing a request holds
+		// aliases scratch the next micro-batch will overwrite.
+		err := key.eng.pred.PredictBatchInto(ctx, xs, maxK, key.sampled, &s.batchRes)
 		cancel()
 		if err == nil {
 			s.adm.observe(time.Since(t0), len(group))
@@ -1007,27 +1148,37 @@ func (s *Server) runBatch(batch []*pendingReq) {
 			// its mode group, not the whole gathered micro-batch.
 			rep := batchReply{err: err, batchSize: len(group)}
 			if err == nil {
-				n := min(r.k, len(ids[j]))
-				rep.ids, rep.scores = ids[j][:n], scores[j][:n]
+				n := min(r.k, len(s.batchRes.IDs[j]))
+				r.ids = append(r.ids[:0], s.batchRes.IDs[j][:n]...)
+				r.scores = append(r.scores[:0], s.batchRes.Scores[j][:n]...)
+				rep.ids, rep.scores = r.ids, r.scores
 			}
 			r.reply <- rep
 		}
+		// Drop request pointers so retired scratch does not pin
+		// workspaces (and their engines) until the slot is reused.
+		clear(groups[gi].reqs)
 	}
 	wg.Wait()
+	clear(seeded)
+	s.groups = groups[:0]
+	s.seededReqs = seeded[:0]
 }
 
-// runOne serves a request without micro-batching, on its pinned engine.
-// The request context gates the pass: work whose deadline is already
-// spent is refused by TopKWithScoresCtx before any compute happens.
+// runOne serves a request without micro-batching, on its pinned engine,
+// predicting straight into the request's own result buffers. The
+// request context gates the pass: work whose deadline is already spent
+// is refused before any compute happens.
 func (s *Server) runOne(ctx context.Context, r *pendingReq) batchReply {
-	var opts []core.PredictOpts
-	if r.sampled && r.seeded {
-		opts = append(opts, core.PredictOpts{Seed: r.seed})
-	}
 	t0 := time.Now()
-	ids, scores, err := r.eng.pred.TopKWithScoresCtx(ctx, r.x, r.k, r.sampled, opts...)
+	var err error
+	if r.sampled && r.seeded {
+		r.ids, r.scores, err = r.eng.pred.TopKWithScoresInto(ctx, r.x, r.k, true, r.ids, r.scores, core.PredictOpts{Seed: r.seed})
+	} else {
+		r.ids, r.scores, err = r.eng.pred.TopKWithScoresInto(ctx, r.x, r.k, r.sampled, r.ids, r.scores)
+	}
 	if err == nil {
 		s.adm.observe(time.Since(t0), 1)
 	}
-	return batchReply{ids: ids, scores: scores, batchSize: 1, err: err}
+	return batchReply{ids: r.ids, scores: r.scores, batchSize: 1, err: err}
 }

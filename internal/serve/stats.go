@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,49 @@ type statsSnapshot struct {
 	// window is sized from the estimator of the mode that opened it.
 	AdaptiveExact   *adaptiveModeStats `json:"adaptive_exact,omitempty"`
 	AdaptiveSampled *adaptiveModeStats `json:"adaptive_sampled,omitempty"`
+	// Runtime GC/heap gauges, read from runtime.MemStats at snapshot
+	// time. GCPauseP99Millis is the p99 of the runtime's recent
+	// stop-the-world pause ring (up to 256 GCs of memory); Mallocs and
+	// TotalAllocBytes are cumulative, so the load harness differences
+	// two snapshots to get allocations and bytes per request for a
+	// sweep phase.
+	GCPauseP99Millis float64 `json:"gc_pause_p99_ms"`
+	GCPauseMaxMillis float64 `json:"gc_pause_max_ms"`
+	HeapAllocBytes   uint64  `json:"heap_alloc_bytes"`
+	NumGC            uint32  `json:"num_gc"`
+	Mallocs          uint64  `json:"mallocs"`
+	TotalAllocBytes  uint64  `json:"total_alloc_bytes"`
+}
+
+// fillGCStats populates the snapshot's runtime gauges. The pause p99 is
+// computed over the PauseNs ring's valid window — min(NumGC, 256)
+// samples — with the nearest-rank rule the latency percentiles use.
+func fillGCStats(snap *statsSnapshot) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	snap.HeapAllocBytes = m.HeapAlloc
+	snap.NumGC = m.NumGC
+	snap.Mallocs = m.Mallocs
+	snap.TotalAllocBytes = m.TotalAlloc
+	n := int(m.NumGC)
+	if n > len(m.PauseNs) {
+		n = len(m.PauseNs)
+	}
+	if n == 0 {
+		return
+	}
+	pauses := make([]float64, n)
+	var maxNS uint64
+	for i := 0; i < n; i++ {
+		p := m.PauseNs[(int(m.NumGC)-1-i+len(m.PauseNs))%len(m.PauseNs)]
+		pauses[i] = float64(p)
+		if p > maxNS {
+			maxNS = p
+		}
+	}
+	sort.Float64s(pauses)
+	snap.GCPauseP99Millis = percentile(pauses, 0.99) / 1e6
+	snap.GCPauseMaxMillis = float64(maxNS) / 1e6
 }
 
 func (sr *statsRecorder) snapshot() statsSnapshot {
@@ -139,9 +183,22 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	setContentTypeJSON(w)
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// setContentTypeJSON sets the Content-Type header without allocating
+// when it is already set — http.Header.Set builds a fresh []string per
+// call, which would be the last allocation on the zero-alloc request
+// path whenever the header map is reused (as the regression tests and
+// any buffering middleware do).
+func setContentTypeJSON(w http.ResponseWriter) {
+	h := w.Header()
+	if vs := h["Content-Type"]; len(vs) == 1 && vs[0] == "application/json" {
+		return
+	}
+	h.Set("Content-Type", "application/json")
 }
 
 // encodeJSON renders v exactly as writeJSON would stream it (trailing
@@ -157,7 +214,7 @@ func encodeJSON(v any) ([]byte, error) {
 
 // writeRawJSON writes an already-encoded JSON body.
 func writeRawJSON(w http.ResponseWriter, code int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	setContentTypeJSON(w)
 	w.WriteHeader(code)
 	w.Write(body)
 }

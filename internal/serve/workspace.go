@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// reqWorkspace is the pooled per-request memory: the body read buffer,
+// parsed component lists, the pendingReq handed to the micro-batcher
+// (with its result buffers and reusable reply channel), batch-endpoint
+// element slots, and the response encode buffer. One workspace serves
+// one request at a time; with pooling on, the steady state recycles a
+// fixed set of workspaces and the request path stops allocating.
+//
+// Lifetime rule: a workspace returns to the pool only on paths where its
+// reply has been consumed (or never issued). A request abandoned while
+// queued — client gone, deadline spent — leaks its workspace to the
+// garbage collector instead, because the batcher may still write into
+// the workspace's result buffers and send on its reply channel; reuse
+// would race. Abandonment is the exceptional path, so the leak rate is
+// the abandonment rate, not the request rate.
+type reqWorkspace struct {
+	// pr is the request handed to the batcher; its x/ids/scores alias
+	// workspace-owned buffers and its reply channel is created once and
+	// reused for the workspace's lifetime.
+	pr     pendingReq
+	body   []byte
+	idx    []int32
+	val    []float32
+	resp   []byte
+	params predictParams
+
+	// Batch-endpoint state: per-element component slots (each reused
+	// across requests), the vector views over them, and the predictor's
+	// reusable batch result storage.
+	nBatch  int
+	elemIdx [][]int32
+	elemVal [][]float32
+	xs      []sparse.Vector
+	res     core.BatchResults
+}
+
+func newWorkspace() *reqWorkspace {
+	ws := &reqWorkspace{}
+	ws.pr.reply = make(chan batchReply, 1)
+	return ws
+}
+
+// getWorkspace checks a workspace out of the pool (or builds one). With
+// Options.NoPooling — the measurement ablation — every request gets a
+// fresh workspace and putWorkspace drops it, reproducing the
+// allocate-per-request behavior this PR removed so the GC cost of the
+// old regime stays measurable at identical operating points.
+func (s *Server) getWorkspace() *reqWorkspace {
+	if s.opts.NoPooling {
+		return newWorkspace()
+	}
+	if ws, _ := s.wsPool.Get().(*reqWorkspace); ws != nil {
+		return ws
+	}
+	return newWorkspace()
+}
+
+func (s *Server) putWorkspace(ws *reqWorkspace) {
+	if s.opts.NoPooling {
+		return
+	}
+	s.wsPool.Put(ws)
+}
+
+// errBodyTooLarge reports a request body over the configured cap; the
+// handlers map it to 400 exactly as the json decode error from
+// http.MaxBytesReader mapped before.
+var errBodyTooLarge = fmt.Errorf("request body exceeds limit")
+
+// readBody reads r to EOF into buf (reusing its capacity), failing once
+// more than max bytes have arrived. It replaces http.MaxBytesReader +
+// json.Decoder — both allocate per request — with one capped read into
+// pooled memory.
+func readBody(r io.Reader, buf []byte, max int64) ([]byte, error) {
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if int64(len(buf)) > max {
+			return buf, errBodyTooLarge
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}

@@ -10,6 +10,7 @@ package sparse
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -32,6 +33,27 @@ func New(dim int, idx []int32, val []float32) (Vector, error) {
 		return Vector{}, err
 	}
 	return v, nil
+}
+
+// View builds a Vector over the caller's idx/val storage without copying
+// — the allocation-free entry point for serving hot paths that own the
+// component buffers. The fast path (strictly ascending indices, all in
+// range) touches nothing; inputs that need sorting, duplicate merging or
+// range diagnostics fall back to the copying New. The returned vector
+// aliases idx and val: the caller must not mutate them while the vector
+// is in use.
+func View(dim int, idx []int32, val []float32) (Vector, error) {
+	if len(idx) != len(val) {
+		return Vector{}, fmt.Errorf("sparse: %d indices but %d values", len(idx), len(val))
+	}
+	prev := int32(-1)
+	for _, i := range idx {
+		if i <= prev || int(i) >= dim {
+			return New(dim, idx, val)
+		}
+		prev = i
+	}
+	return Vector{Dim: dim, Idx: idx, Val: val}, nil
 }
 
 // MustNew is New but panics on error; for tests and literals.
@@ -139,15 +161,34 @@ func (v Vector) Clone() Vector {
 // If k >= len(d) all indices are returned. Used by the DOPH binarization
 // front end (App. A) which thresholds the top-k magnitudes to 1.
 func TopK(d []float32, k int) []int32 {
+	var s Selector
+	return s.TopKInto(nil, d, k)
+}
+
+// Selector reuses the bounded-heap scratch across top-k selections so a
+// steady-state caller (a pooled predictor worker state, a serving
+// workspace) performs zero allocations per selection. The zero value is
+// ready to use; a Selector must not be used concurrently.
+type Selector struct{ h []heapItem }
+
+// TopKInto is TopK appending into out (reusing its capacity): the k
+// largest values' indices, descending by value with ties broken by lower
+// index. The heap scratch lives in the Selector, so once out's capacity
+// covers k the selection allocates nothing.
+func (s *Selector) TopKInto(out []int32, d []float32, k int) []int32 {
+	out = out[:0]
 	if k <= 0 {
-		return nil
+		return out
 	}
 	if k > len(d) {
 		k = len(d)
 	}
 	// Bounded min-heap over (value, index); O(n log k) as the paper's
 	// priority-queue implementation (App. A).
-	h := make([]heapItem, 0, k)
+	if cap(s.h) < k {
+		s.h = make([]heapItem, 0, k)
+	}
+	h := s.h[:0]
 	for i, v := range d {
 		if len(h) < k {
 			h = append(h, heapItem{v, int32(i)})
@@ -160,12 +201,25 @@ func TopK(d []float32, k int) []int32 {
 		h[0] = heapItem{v, int32(i)}
 		siftDown(h, 0)
 	}
-	sort.Slice(h, func(a, b int) bool { return less(h[b], h[a]) })
-	out := make([]int32, len(h))
-	for i, it := range h {
-		out[i] = it.idx
+	s.h = h
+	slices.SortFunc(h, descending)
+	for _, it := range h {
+		out = append(out, it.idx)
 	}
 	return out
+}
+
+// descending orders heap items for the final result: larger values (and,
+// on ties, lower indices) first — the same total order TopK has always
+// produced, every (value, index) pair being distinct.
+func descending(a, b heapItem) int {
+	if less(b, a) {
+		return -1
+	}
+	if less(a, b) {
+		return 1
+	}
+	return 0
 }
 
 // TopKSparse returns the indices of the k largest stored values of a

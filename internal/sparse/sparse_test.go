@@ -137,6 +137,76 @@ func TestTopKMatchesSort(t *testing.T) {
 	}
 }
 
+// TestViewAliasesOrNormalizes: well-formed component lists become
+// zero-copy views; anything unsorted, duplicated or out of range falls
+// back to New's copying normalization.
+func TestViewAliasesOrNormalizes(t *testing.T) {
+	idx := []int32{1, 4, 9}
+	val := []float32{1, 2, 3}
+	v, err := View(16, idx, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v.Idx[0] != &idx[0] || &v.Val[0] != &val[0] {
+		t.Fatal("View copied well-formed components")
+	}
+	v, err = View(16, []int32{9, 4, 1}, []float32{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Idx[0] != 1 || v.Val[0] != 1 || v.Idx[2] != 9 {
+		t.Fatalf("unsorted View not normalized: %v/%v", v.Idx, v.Val)
+	}
+	if _, err := View(4, []int32{1, 9}, []float32{1, 2}); err == nil {
+		t.Fatal("View accepted out-of-range index")
+	}
+	if _, err := View(4, []int32{1}, nil); err == nil {
+		t.Fatal("View accepted mismatched lengths")
+	}
+	v, err = View(8, []int32{2, 2}, []float32{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Idx) != 1 || v.Val[0] != 2 {
+		t.Fatalf("duplicate indices not merged: %v/%v", v.Idx, v.Val)
+	}
+}
+
+// TestSelectorReuseZeroAllocs pins the serving hot path's selection cost:
+// once the Selector's heap and the output buffer cover k, repeated
+// selections allocate nothing and keep agreeing with one-shot TopK.
+func TestSelectorReuseZeroAllocs(t *testing.T) {
+	r := rng.New(7)
+	d := make([]float32, 4096)
+	for i := range d {
+		d[i] = float32(r.Intn(1000))
+	}
+	var s Selector
+	out := make([]int32, 0, 32)
+	out = s.TopKInto(out, d, 32)
+	if want := TopK(d, 32); !sliceEq(out, want) {
+		t.Fatalf("TopKInto %v != TopK %v", out, want)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		out = s.TopKInto(out, d, 32)
+	})
+	if allocs != 0 {
+		t.Fatalf("reused Selector made %.0f allocs/op, want 0", allocs)
+	}
+}
+
+func sliceEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestTopKEdgeCases(t *testing.T) {
 	if got := TopK(nil, 3); len(got) != 0 {
 		t.Fatalf("TopK(nil) = %v", got)

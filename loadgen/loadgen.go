@@ -26,6 +26,14 @@ type Result = loadgen.Result
 // ServerStats mirrors slide-serve's GET /stats body.
 type ServerStats = loadgen.ServerStats
 
+// GCDelta summarizes the server's GC work between two /stats snapshots.
+type GCDelta = loadgen.GCDelta
+
+// GCDeltaBetween differences two snapshots bracketing a load phase.
+func GCDeltaBetween(before, after ServerStats) GCDelta {
+	return loadgen.GCDeltaBetween(before, after)
+}
+
 // Run executes one open-loop load run and blocks until every dispatched
 // request completes.
 func Run(ctx context.Context, cfg Config) (Result, error) { return loadgen.Run(ctx, cfg) }
