@@ -303,6 +303,26 @@ func (a *Arena) AllocInt8(n int) []int8 {
 	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), n)
 }
 
+// AllocUint32 returns a zeroed cache-line-aligned []uint32 of length n —
+// the backing store for flat hash-table id slabs and per-row code memos.
+func (a *Arena) AllocUint32(n int) []uint32 {
+	b := a.allocBytes(n * 4)
+	if b == nil {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+}
+
+// AllocInt32 returns a zeroed cache-line-aligned []int32 of length n — the
+// backing store for flat bucket occupancy counters.
+func (a *Arena) AllocInt32(n int) []int32 {
+	b := a.allocBytes(n * 4)
+	if b == nil {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+}
+
 // Slabs reports how many distinct heap blocks back the arena — the
 // Table 4 analogue of the hugepage mapping count.
 func (a *Arena) Slabs() int { return len(a.slabs) + len(a.bslabs) }

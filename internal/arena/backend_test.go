@@ -45,6 +45,7 @@ func carve(a *Arena) []uint32 {
 // respect the same alignment rules, and reads back intact.
 func TestMmapBackendBitTransparent(t *testing.T) {
 	heap := New(1 << 16)
+	heap.backend = BackendHeap // pin: SLIDE_ARENA=mmap must not flip the reference arena
 	mm := New(1 << 16)
 	mm.backend = BackendMmap
 	defer mm.Release()

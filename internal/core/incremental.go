@@ -60,18 +60,32 @@ func (n *Network) EnableIncrementalRehash(li int) error {
 }
 
 // diffIncremental is the memo layer's synchronous rebuild phase: it
-// sparse-diffs each weight row against its snapshot and folds the deltas
-// into the memoized projections, parallel over neurons (private rows). It
-// must run at a batch boundary (weights quiesced); afterwards the
-// projections are read-only until the rebuild publishes, so the insert
-// phase may run on a background goroutine.
+// sparse-diffs each drifted weight row against its snapshot and folds
+// the deltas into the memoized projections, parallel over neurons
+// (private rows). When the layer tracks dirty rows the scan covers only
+// those — safe because dirty is a superset of changed (every weight
+// write stamps its row) — and falls back to all rows otherwise
+// (Config.FullRebuild networks). It must run at a batch boundary
+// (weights quiesced); afterwards the projections are read-only until the
+// rebuild publishes, so the insert phase may run on a background
+// goroutine.
 func (l *Layer) diffIncremental(workers int) {
 	memo := l.memo
 	nf := l.fam.NumFuncs()
-	parallelIndexed(workers, l.out, func(w, lo, hi int) {
+	var dirty []int32
+	n := l.out
+	if l.dirty != nil {
+		dirty = l.collectDirtyRows(workers)
+		n = len(dirty)
+	}
+	parallelIndexed(workers, n, func(w, lo, hi int) {
 		var dIdx []int32
 		var dVal []float32
-		for j := lo; j < hi; j++ {
+		for k := lo; k < hi; k++ {
+			j := k
+			if dirty != nil {
+				j = int(dirty[k])
+			}
 			row, snap := l.w[j], memo.snapshot[j]
 			dIdx = dIdx[:0]
 			dVal = dVal[:0]
@@ -95,22 +109,16 @@ func (l *Layer) diffIncremental(workers int) {
 func (l *Layer) insertFromMemo(dst *hashtable.Table, workers int) {
 	memo := l.memo
 	nf := l.fam.NumFuncs()
+	codes := l.codesScratch(nf)
 	for base := 0; base < l.out; base += rebuildChunk {
 		nRows := min(rebuildChunk, l.out-base)
-		codes := make([]uint32, nRows*nf)
 		parallelRange(workers, nRows, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				j := base + r
 				memo.sh.CodesFromProjections(memo.proj[j*nf:(j+1)*nf], codes[r*nf:(r+1)*nf])
 			}
 		})
-		parallelRange(min(workers, dst.L()), dst.L(), func(lo, hi int) {
-			for ti := lo; ti < hi; ti++ {
-				for r := 0; r < nRows; r++ {
-					dst.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
-				}
-			}
-		})
+		insertChunk(dst, uint32(base), nRows, nf, codes, workers)
 	}
 }
 

@@ -164,8 +164,10 @@ func (n *Network) readWeights(br *bufio.Reader) error {
 		}
 		// The column-major kernel mirror is derived from the rows just
 		// overwritten; re-derive it so the scatter forward form serves
-		// the restored weights.
+		// the restored weights. The memoized hash codes are equally
+		// stale, so the next rebuild must re-hash the whole layer.
 		l.refreshMirror()
+		l.markAllRowsDirty()
 	}
 	return nil
 }

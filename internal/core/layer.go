@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arena"
 	"repro/internal/hashtable"
@@ -72,6 +73,31 @@ type Layer struct {
 	// per training sampled layer — the same trade the rehashMemo makes —
 	// for not allocating out*in floats of garbage on every rebuild.
 	snapBuf []float32
+
+	// Dirty-row incremental rebuild state (§4.2 "Updating Overhead",
+	// generalized to every hash family): codeMemo holds every neuron's
+	// NumFuncs codes as of its last re-hash, and dirty[j] == hashEpoch
+	// marks rows whose weights changed since — the same stamp discipline
+	// touched/batchEpoch use for gradients. A rebuild re-hashes only the
+	// stamped rows and re-inserts the rest from the memo; because a row's
+	// codes are a pure function of its weight row, the resulting table is
+	// bit-identical to a full from-scratch build. All nil when
+	// Config.FullRebuild disables the path (dirty-marking then costs
+	// nothing). dirtyList/dirtySnap/codesBuf are rebuild scratch reused
+	// across generations, under the same one-rebuild-in-flight guarantee
+	// snapBuf relies on.
+	codeMemo  []uint32
+	dirty     []uint32
+	hashEpoch uint32
+	dirtyList []int32
+	dirtySnap []float32
+	codesBuf  []uint32
+
+	// rowsRehashed/rowsReused count rebuild rows freshly hashed vs
+	// re-inserted from the memo, accumulated atomically because shadow
+	// builds run on a background goroutine (TrainResult surfaces them).
+	rowsRehashed int64
+	rowsReused   int64
 }
 
 // newLayer builds an initialized layer. Weight initialization is He-style
@@ -144,6 +170,16 @@ func newLayer(idx, in int, cfg LayerConfig, netCfg Config, ar *arena.Arena, seed
 			return nil, fmt.Errorf("core: layer %d: %w", idx, err)
 		}
 		l.tables = hashtable.NewHandle(tables)
+		if !netCfg.FullRebuild {
+			// Every row starts dirty: the construction-time build hashes
+			// the whole layer and seeds the memo.
+			l.codeMemo = ar.AllocUint32(cfg.Size * fam.NumFuncs())
+			l.dirty = make([]uint32, cfg.Size)
+			l.hashEpoch = 1
+			for j := range l.dirty {
+				l.dirty[j] = 1
+			}
+		}
 	}
 	return l, nil
 }
@@ -219,31 +255,86 @@ const rebuildChunk = 4096
 // what lets Network overlap the expensive build with training batches.
 
 // rebuildSync runs the full lifecycle inline: prepare, build the
-// generation-gen shadow from the live rows, publish.
+// generation-gen shadow from the prepared state, publish.
 func (l *Layer) rebuildSync(gen uint64, workers int) {
 	if l.tables == nil {
 		return
 	}
-	snap := l.prepareRebuild(workers, false)
-	l.tables.Store(l.buildShadow(gen, snap, workers))
+	prep := l.prepareRebuild(workers, false)
+	l.tables.Store(l.buildShadow(gen, prep, workers))
+}
+
+// rebuildPrep carries what a rebuild's synchronous (quiesced-weights)
+// prepare phase hands to the — possibly background — build phase.
+type rebuildPrep struct {
+	// snap is the full out*in weight snapshot a detached full rebuild
+	// hashes from; nil on the incremental and inline paths.
+	snap []float32
+	// dirty lists the rows whose codes drifted since the last rebuild
+	// (ascending); dirtySnap holds exactly those weight rows compacted
+	// back to back in the same order, so the detached incremental build
+	// reads no live weights. Both alias per-layer scratch that stays
+	// stable until the next prepare.
+	dirty     []int32
+	dirtySnap []float32
 }
 
 // prepareRebuild is the synchronous (quiesced-weights) part of a rebuild.
-// For memo layers it folds the sparse weight diff into the memoized
-// projections and returns nil; otherwise, when copy is set, it snapshots
-// the weight rows into a fresh flat buffer for a detached build. Callers
-// building inline pass copy=false and hash the live rows directly — with
-// no concurrent writers the result is identical to building from the
-// snapshot.
-func (l *Layer) prepareRebuild(workers int, copySnap bool) []float32 {
+// Memo layers fold the sparse weight diff of their dirty rows into the
+// memoized projections; code-memo layers collect the dirty-row list and
+// compact-copy those rows; full-rebuild layers snapshot everything when
+// the build is detached (copySnap) and hash live rows inline otherwise —
+// with no concurrent writers the result is identical either way.
+func (l *Layer) prepareRebuild(workers int, copySnap bool) rebuildPrep {
 	if l.memo != nil {
 		l.diffIncremental(workers)
-		return nil
+		return rebuildPrep{}
+	}
+	if l.codeMemo != nil {
+		dirty := l.collectDirtyRows(workers)
+		need := len(dirty) * l.in
+		if cap(l.dirtySnap) < need {
+			l.dirtySnap = make([]float32, need)
+		}
+		snap := l.dirtySnap[:need]
+		parallelRange(workers, len(dirty), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				copy(snap[k*l.in:(k+1)*l.in], l.w[dirty[k]])
+			}
+		})
+		return rebuildPrep{dirty: dirty, dirtySnap: snap}
 	}
 	if !copySnap {
-		return nil
+		return rebuildPrep{}
 	}
-	return l.snapshotRows(workers)
+	return rebuildPrep{snap: l.snapshotRows(workers)}
+}
+
+// collectDirtyRows gathers the rows stamped dirty in the current hash
+// epoch into the reusable dirtyList and advances the epoch, so rows the
+// next batches touch land in the next rebuild's set. Must run with
+// training quiesced. On the rare epoch wrap all stamps are cleared so
+// stale values can never collide with re-issued epochs (the beginBatch
+// pattern).
+func (l *Layer) collectDirtyRows(workers int) []int32 {
+	l.dirtyList = scanStamps(l.dirty, l.hashEpoch, workers, l.dirtyList)
+	l.hashEpoch++
+	if l.hashEpoch == 0 {
+		clear(l.dirty)
+		l.hashEpoch = 1
+	}
+	return l.dirtyList
+}
+
+// markAllRowsDirty invalidates the whole code memo — called after bulk
+// weight restores, where every memoized code may be stale.
+func (l *Layer) markAllRowsDirty() {
+	if l.dirty == nil {
+		return
+	}
+	for j := range l.dirty {
+		l.dirty[j] = l.hashEpoch
+	}
 }
 
 // snapshotRows copies every neuron's weight row into the layer's flat
@@ -268,23 +359,83 @@ func (l *Layer) snapshotRows(workers int) []float32 {
 }
 
 // buildShadow constructs the generation-gen shadow table set without
-// publishing it. For memo layers codes come from the (quiesced) memoized
-// projections; otherwise rows come from snap when non-nil or the live
-// weight rows when nil. Building from a snapshot (or memo) touches no
-// live training state, so it may run on a background goroutine while
-// training and inference continue on the published set.
-func (l *Layer) buildShadow(gen uint64, snap []float32, workers int) *hashtable.Table {
+// publishing it. Memo layers derive codes from the (quiesced) memoized
+// projections; code-memo layers re-hash only the prepared dirty rows and
+// insert everything from the memo; full-rebuild layers hash prep.snap
+// when non-nil or the live weight rows when nil. Building from prepared
+// state touches no live training state, so it may run on a background
+// goroutine while training and inference continue on the published set.
+func (l *Layer) buildShadow(gen uint64, prep rebuildPrep, workers int) *hashtable.Table {
 	shadow := l.tables.Load().Shadow(gen)
 	if l.memo != nil {
 		l.insertFromMemo(shadow, workers)
 		return shadow
 	}
-	row := func(j int) []float32 { return l.w[j] }
-	if snap != nil {
-		row = func(j int) []float32 { return snap[j*l.in : (j+1)*l.in] }
+	if l.codeMemo != nil {
+		l.rehashDirty(prep, workers)
+		l.insertFromCodes(shadow, workers)
+		atomic.AddInt64(&l.rowsRehashed, int64(len(prep.dirty)))
+		atomic.AddInt64(&l.rowsReused, int64(l.out-len(prep.dirty)))
+		return shadow
 	}
-	l.insertAll(shadow, row, workers)
+	if prep.snap != nil {
+		l.insertAllBlock(shadow, prep.snap, workers)
+	} else {
+		l.insertAll(shadow, func(j int) []float32 { return l.w[j] }, workers)
+	}
+	atomic.AddInt64(&l.rowsRehashed, int64(l.out))
 	return shadow
+}
+
+// rehashDirty batch-hashes the prepared dirty-row snapshot block-wise
+// (lsh.Family.HashDenseRows) and scatters the fresh codes into the code
+// memo. Rows outside prep.dirty keep their memoized codes — exactly what
+// a full rebuild would recompute, since a row's codes are a pure
+// function of its weight row.
+func (l *Layer) rehashDirty(prep rebuildPrep, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	nf := l.fam.NumFuncs()
+	codes := l.codesScratch(nf)
+	for base := 0; base < len(prep.dirty); base += rebuildChunk {
+		n := min(rebuildChunk, len(prep.dirty)-base)
+		block := prep.dirtySnap[base*l.in:]
+		parallelRange(workers, n, func(lo, hi int) {
+			l.fam.HashDenseRows(block[lo*l.in:hi*l.in], hi-lo, codes[lo*nf:hi*nf])
+			for k := lo; k < hi; k++ {
+				j := int(prep.dirty[base+k])
+				copy(l.codeMemo[j*nf:(j+1)*nf], codes[k*nf:(k+1)*nf])
+			}
+		})
+	}
+}
+
+// insertFromCodes inserts every neuron into dst straight from the code
+// memo, parallel over tables (the lock-free axis §3.1 identifies). It
+// reads no weights at all — the incremental build's hash cost is
+// proportional to the dirty fraction while this pass, cheap flat-slab
+// appends, covers all rows.
+func (l *Layer) insertFromCodes(dst *hashtable.Table, workers int) {
+	nf := l.fam.NumFuncs()
+	memo := l.codeMemo
+	parallelRange(min(workers, dst.L()), dst.L(), func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			for j := 0; j < l.out; j++ {
+				dst.InsertInto(ti, uint32(j), memo[j*nf:(j+1)*nf])
+			}
+		}
+	})
+}
+
+// codesScratch returns the layer's reusable rebuildChunk*nf code buffer
+// (one rebuild in flight per network, so reuse across generations is
+// safe — the snapBuf argument).
+func (l *Layer) codesScratch(nf int) []uint32 {
+	if len(l.codesBuf) < rebuildChunk*nf {
+		l.codesBuf = make([]uint32, rebuildChunk*nf)
+	}
+	return l.codesBuf
 }
 
 // insertAll hashes all rows in chunks and inserts them into dst. Hashing
@@ -295,7 +446,7 @@ func (l *Layer) insertAll(dst *hashtable.Table, row func(j int) []float32, worke
 		workers = 1
 	}
 	nf := l.fam.NumFuncs()
-	codes := make([]uint32, rebuildChunk*nf)
+	codes := l.codesScratch(nf)
 	for base := 0; base < l.out; base += rebuildChunk {
 		n := min(rebuildChunk, l.out-base)
 		parallelRange(workers, n, func(lo, hi int) {
@@ -303,14 +454,38 @@ func (l *Layer) insertAll(dst *hashtable.Table, row func(j int) []float32, worke
 				l.fam.HashDense(row(base+r), codes[r*nf:(r+1)*nf])
 			}
 		})
-		parallelRange(min(workers, dst.L()), dst.L(), func(lo, hi int) {
-			for ti := lo; ti < hi; ti++ {
-				for r := 0; r < n; r++ {
-					dst.InsertInto(ti, uint32(base+r), codes[r*nf:(r+1)*nf])
-				}
-			}
-		})
+		insertChunk(dst, uint32(base), n, nf, codes, workers)
 	}
+}
+
+// insertAllBlock is insertAll over a contiguous row-major weight block,
+// which lets the hash phase run block-wise through HashDenseRows.
+func (l *Layer) insertAllBlock(dst *hashtable.Table, block []float32, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	nf := l.fam.NumFuncs()
+	codes := l.codesScratch(nf)
+	for base := 0; base < l.out; base += rebuildChunk {
+		n := min(rebuildChunk, l.out-base)
+		sub := block[base*l.in:]
+		parallelRange(workers, n, func(lo, hi int) {
+			l.fam.HashDenseRows(sub[lo*l.in:hi*l.in], hi-lo, codes[lo*nf:hi*nf])
+		})
+		insertChunk(dst, uint32(base), n, nf, codes, workers)
+	}
+}
+
+// insertChunk inserts one hashed chunk of n rows (ids base..base+n-1,
+// codes row-major in codes) into every table, parallel over tables.
+func insertChunk(dst *hashtable.Table, base uint32, n, nf int, codes []uint32, workers int) {
+	parallelRange(min(workers, dst.L()), dst.L(), func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			for r := 0; r < n; r++ {
+				dst.InsertInto(ti, base+uint32(r), codes[r*nf:(r+1)*nf])
+			}
+		}
+	})
 }
 
 // parallelRange splits [0, n) into contiguous spans across workers

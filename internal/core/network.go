@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arena"
 	"repro/internal/hashtable"
@@ -163,6 +164,18 @@ func (n *Network) Step() int64 { return n.step }
 // Rebuilds returns the number of scheduled hash-table rebuilds performed.
 func (n *Network) Rebuilds() int { return n.rebuilds }
 
+// RebuildRowCounts reports, summed over sampled layers and all builds
+// since construction, how many rebuild rows were freshly hashed vs
+// re-inserted from the per-row code memo — the dirty-fraction record of
+// the incremental rebuild path (reused is 0 with Config.FullRebuild).
+func (n *Network) RebuildRowCounts() (rehashed, reused int64) {
+	for _, l := range n.layers {
+		rehashed += atomic.LoadInt64(&l.rowsRehashed)
+		reused += atomic.LoadInt64(&l.rowsReused)
+	}
+	return rehashed, reused
+}
+
 // NumParams returns the total trainable parameter count.
 func (n *Network) NumParams() int64 {
 	var p int64
@@ -256,12 +269,12 @@ func (n *Network) startBackgroundRebuild(workers int) {
 		done:    make(chan struct{}),
 		shadows: make([]*hashtable.Table, len(n.layers)),
 	}
-	snaps := make([][]float32, len(n.layers))
+	preps := make([]rebuildPrep, len(n.layers))
 	for li, l := range n.layers {
 		if !l.Sampled() {
 			continue
 		}
-		snaps[li] = l.prepareRebuild(workers, true)
+		preps[li] = l.prepareRebuild(workers, true)
 	}
 	n.pending = p
 	go func() {
@@ -270,7 +283,7 @@ func (n *Network) startBackgroundRebuild(workers int) {
 			if !l.Sampled() {
 				continue
 			}
-			p.shadows[li] = l.buildShadow(gen, snaps[li], workers)
+			p.shadows[li] = l.buildShadow(gen, preps[li], workers)
 		}
 		p.buildNS = nowNano() - t0
 		close(p.done)

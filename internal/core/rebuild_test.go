@@ -30,31 +30,41 @@ func TestShadowBuildMatchesSyncRebuild(t *testing.T) {
 	l := n.layers[1]
 	const gen = 7
 
-	snap := l.snapshotRows(1)
-	inline := l.buildShadow(gen, snap, 1)
+	prep := l.prepareRebuild(1, true)
+	inline := l.buildShadow(gen, prep, 1)
 
 	bgShadow := inline
 	bg := make(chan struct{})
 	go func() {
-		bgShadow = l.buildShadow(gen, snap, 3)
+		bgShadow = l.buildShadow(gen, prep, 3)
 		close(bg)
 	}()
 	<-bg
 	if !inline.Equal(bgShadow) {
-		t.Fatal("background shadow build diverged from inline build of the same snapshot and generation")
+		t.Fatal("background shadow build diverged from inline build of the same prepared state and generation")
 	}
 
-	// With the weights quiesced, building from the live rows (what
-	// rebuildSync does) matches building from the snapshot copy.
-	live := l.buildShadow(gen, nil, 2)
+	// With the weights quiesced a second prepare finds nothing dirty, so
+	// a build from the bare memo (what rebuildSync would do next) matches
+	// the build that re-hashed the drifted rows.
+	live := l.buildShadow(gen, l.prepareRebuild(2, false), 2)
 	if !inline.Equal(live) {
-		t.Fatal("live-row build diverged from snapshot build with quiesced weights")
+		t.Fatal("memo-only build diverged from dirty-rehash build with quiesced weights")
+	}
+
+	// The incremental shadow must be bucket-for-bucket identical to a
+	// full from-scratch build of the live rows at the same generation —
+	// the §4.2 incremental-rebuild equivalence.
+	full := l.Tables().Shadow(gen)
+	l.insertAll(full, func(j int) []float32 { return l.w[j] }, 2)
+	if !inline.Equal(full) {
+		t.Fatal("incremental shadow diverged from full from-scratch build at the same generation")
 	}
 
 	// A different generation draws different reservoir streams; it may
 	// only coincide when no bucket ever overflowed, so don't assert
 	// inequality — just that it builds and stores every neuron.
-	other := l.buildShadow(gen+1, snap, 1)
+	other := l.buildShadow(gen+1, prep, 1)
 	if got, want := other.Stats().TotalSeen, l.Tables().L()*l.out; got != want {
 		t.Fatalf("generation %d shadow saw %d insertions, want %d", gen+1, got, want)
 	}

@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/sampling"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tables",
+		Title: "Incremental table rebuilds and batched hash kernels (§4.2 updating overhead)",
+		Run:   runTables,
+	})
+}
+
+// runTables measures what the vectorized hash kernels and the dirty-row
+// incremental rebuild path buy on the paper architecture:
+//
+//  1. a controlled drift sweep — the same network rebuilt after exactly
+//     d% of the wide sampled layer's rows changed, incremental vs a
+//     FullRebuild twin (the §4.2 "Updating Overhead" measurement; the
+//     repo's acceptance bar is ≥2x at ≤20% drift);
+//  2. per-family dense hash throughput, per-row HashDense vs the batched
+//     block-wise HashDenseRows entry point the rebuilds feed;
+//  3. a real training A/B on the Delicious workload with synchronous
+//     rebuilds, reporting the measured drift fraction and per-rebuild
+//     stall under each rebuild mode.
+func runTables(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc, err := ScaleByName(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	w, err := deliciousWorkload(opts, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "tables", Title: "Hash-table rebuild cost: dirty-row incremental vs full"}
+	rep.AddNote("workload %s: %d classes, Simhash K=%d L=%d, threads=%d", w.ds.Name, w.ds.NumClasses, w.k, sc.L, opts.Threads)
+
+	sweep, speedupAt20, err := runDriftSweep(opts, w)
+	if err != nil {
+		return nil, err
+	}
+	rep.Tables = append(rep.Tables, sweep)
+	rep.AddNote("speedup at 20%% drift: %.2fx (acceptance bar: >= 2x)", speedupAt20)
+
+	rep.Tables = append(rep.Tables, runHashThroughput(opts, w, sc))
+
+	ab, driftNote, err := runRebuildModeAB(opts, w)
+	if err != nil {
+		return nil, err
+	}
+	rep.Tables = append(rep.Tables, ab)
+	if driftNote != "" {
+		rep.AddNote("%s", driftNote)
+	}
+	return rep, nil
+}
+
+// runDriftSweep rebuilds two identically-seeded networks — one on the
+// incremental path, one forced to FullRebuild — after stamping exactly a
+// chosen fraction of output-layer rows as changed, and times
+// RebuildTables on each. Drift is injected through the public delta
+// path (one tiny gradient cell per row), the same route training drift
+// takes, so dirty marking and code invalidation are exercised for real.
+func runDriftSweep(opts Options, w *workload) (Table, float64, error) {
+	mkNet := func(full bool) (*core.Network, error) {
+		cfg := w.slideConfig(opts, sampling.KindVanilla, hashtable.PolicyReservoir)
+		cfg.FullRebuild = full
+		return core.NewNetwork(cfg)
+	}
+	incr, err := mkNet(false)
+	if err != nil {
+		return Table{}, 0, err
+	}
+	full, err := mkNet(true)
+	if err != nil {
+		return Table{}, 0, err
+	}
+	classes := incr.OutputDim()
+	inDim := incr.Layer(incr.NumLayers() - 1).In()
+
+	// driftRows applies one tiny gradient cell to each of the first nd
+	// output rows of both twins. Both networks see identical deltas, so
+	// their weights stay bit-equal through the sweep.
+	driftRows := func(nd int) error {
+		d := &core.SparseDelta{Layers: make([]core.LayerDelta, incr.NumLayers())}
+		for li := range d.Layers {
+			d.Layers[li].RowOff = []int32{0}
+		}
+		out := &d.Layers[incr.NumLayers()-1]
+		for j := 0; j < nd; j++ {
+			out.Rows = append(out.Rows, int32(j))
+			out.RowOff = append(out.RowOff, int32(j+1))
+			out.Cols = append(out.Cols, int32(j%inDim))
+			out.Vals = append(out.Vals, 1e-4)
+			out.Bias = append(out.Bias, 0)
+		}
+		for _, n := range []*core.Network{incr, full} {
+			if _, err := n.ApplyDelta(d, 1e-6, 1, opts.Threads); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Consume the construction-time all-dirty state and warm the
+	// per-layer rebuild scratch before anything is timed.
+	incr.RebuildTables(opts.Threads)
+	full.RebuildTables(opts.Threads)
+
+	tab := Table{
+		Title:  "rebuild time vs drift fraction (controlled)",
+		Header: []string{"Drift", "Dirty rows", "Full rebuild", "Incremental", "Speedup"},
+	}
+	var speedupAt20 float64
+	for _, drift := range []float64{0.05, 0.10, 0.20, 0.50, 1.00} {
+		nd := int(drift * float64(classes))
+		// Each rep re-drifts before timing: the incremental rebuild
+		// consumes its dirty set, so every rep must see the same dirty
+		// fraction. The full twin gets the same deltas to stay bit-equal.
+		var incrMS, fullMS float64
+		for rep := 0; rep < 3; rep++ {
+			if err := driftRows(nd); err != nil {
+				return Table{}, 0, err
+			}
+			t0 := time.Now()
+			incr.RebuildTables(opts.Threads)
+			if ms := float64(time.Since(t0)) / 1e6; rep == 0 || ms < incrMS {
+				incrMS = ms
+			}
+			t0 = time.Now()
+			full.RebuildTables(opts.Threads)
+			if ms := float64(time.Since(t0)) / 1e6; rep == 0 || ms < fullMS {
+				fullMS = ms
+			}
+		}
+		speedup := fullMS / incrMS
+		if drift == 0.20 {
+			speedupAt20 = speedup
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%.0f%%", drift*100),
+			fmt.Sprintf("%d", nd),
+			fmt.Sprintf("%.2f ms", fullMS),
+			fmt.Sprintf("%.2f ms", incrMS),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+		opts.logf("tables: drift %.0f%% full=%.2fms incr=%.2fms (%.2fx)", drift*100, fullMS, incrMS, speedup)
+	}
+	return tab, speedupAt20, nil
+}
+
+// runHashThroughput compares the per-row dense hash entry point against
+// the batched block kernel for every family, at the hidden width every
+// sampled output layer actually hashes.
+func runHashThroughput(opts Options, w *workload, sc ScaleSpec) Table {
+	tab := Table{
+		Title:  "dense hash throughput, per-row vs batched (higher is better)",
+		Header: []string{"Family", "Per-row rows/s", "Batched rows/s", "Batched/per-row"},
+	}
+	const hashDim = 128 // hidden width feeding the sampled output layer
+	const rows = 512
+	block := make([]float32, rows*hashDim)
+	rng := opts.Seed | 1
+	for i := range block {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if rng%7 == 0 {
+			continue // leave ~14% exact zeros, like ReLU activations
+		}
+		block[i] = float32(int32(uint32(rng))) / float32(1<<31)
+	}
+	for _, kind := range []lsh.Kind{lsh.KindSimhash, lsh.KindWTA, lsh.KindDWTA, lsh.KindDOPH} {
+		fam, err := lsh.New(kind, lsh.Params{Dim: hashDim, K: w.k, L: sc.L, Seed: opts.Seed})
+		if err != nil {
+			continue // a family that rejects these params just drops out of the table
+		}
+		nf := fam.NumFuncs()
+		out := make([]uint32, rows*nf)
+		perRow := measureRowsPerSec(func() {
+			for j := 0; j < rows; j++ {
+				fam.HashDense(block[j*hashDim:(j+1)*hashDim], out[j*nf:(j+1)*nf])
+			}
+		}, rows)
+		batched := measureRowsPerSec(func() {
+			fam.HashDenseRows(block, rows, out)
+		}, rows)
+		tab.Rows = append(tab.Rows, []string{
+			kind.String(),
+			fmt.Sprintf("%.0f", perRow),
+			fmt.Sprintf("%.0f", batched),
+			fmt.Sprintf("%.2fx", batched/perRow),
+		})
+		opts.logf("tables: %s per-row %.0f rows/s, batched %.0f rows/s", kind, perRow, batched)
+	}
+	return tab
+}
+
+// runRebuildModeAB trains the Delicious workload twice with synchronous
+// rebuilds on an aggressive schedule — once forced to full rebuilds, once
+// on the incremental path — and reports the per-rebuild stall next to the
+// measured drift (rows re-hashed vs re-inserted from the code memo).
+func runRebuildModeAB(opts Options, w *workload) (Table, string, error) {
+	const rebuildN0 = 10
+	train := func(fullRebuild bool) (*core.TrainResult, error) {
+		cfg := w.slideConfig(opts, sampling.KindVanilla, hashtable.PolicyReservoir)
+		cfg.RebuildN0 = rebuildN0
+		cfg.FullRebuild = fullRebuild
+		net, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tc := w.trainConfig(opts, opts.Threads)
+		tc.Iterations = 8 * rebuildN0
+		tc.EvalEvery = 0
+		tc.SyncRebuild = true // charge whole rebuilds to the stall clock
+		return net.Train(w.ds.Train, w.ds.Test, tc)
+	}
+	opts.logf("tables: training A/B, full-rebuild pass")
+	fullRes, err := train(true)
+	if err != nil {
+		return Table{}, "", err
+	}
+	opts.logf("tables: training A/B, incremental pass")
+	incrRes, err := train(false)
+	if err != nil {
+		return Table{}, "", err
+	}
+
+	tab := Table{
+		Title:  "training with synchronous rebuilds (measured drift)",
+		Header: []string{"Mode", "Rebuilds", "Stall / rebuild", "Rows rehashed", "Rows reused", "Final P@1"},
+	}
+	for _, row := range []struct {
+		name string
+		res  *core.TrainResult
+	}{{"full", fullRes}, {"incremental", incrRes}} {
+		perMS := 0.0
+		if row.res.Rebuilds > 0 {
+			perMS = float64(row.res.RebuildStallNS) / float64(row.res.Rebuilds) / 1e6
+		}
+		tab.Rows = append(tab.Rows, []string{
+			row.name,
+			fmt.Sprintf("%d", row.res.Rebuilds),
+			fmt.Sprintf("%.2f ms", perMS),
+			fmt.Sprintf("%d", row.res.RowsRehashed),
+			fmt.Sprintf("%d", row.res.RowsReused),
+			fmtF(row.res.FinalAcc, 3),
+		})
+	}
+	note := ""
+	if tot := incrRes.RowsRehashed + incrRes.RowsReused; tot > 0 {
+		note = fmt.Sprintf("training drift: %.1f%% of rebuild rows re-hashed under the incremental path",
+			100*float64(incrRes.RowsRehashed)/float64(tot))
+	}
+	return tab, note, nil
+}
+
+// measureRowsPerSec times fn (which processes rows rows per call) over
+// enough repetitions to fill ~20ms and returns the row throughput.
+func measureRowsPerSec(fn func(), rows int) float64 {
+	fn() // warm
+	var reps int
+	t0 := time.Now()
+	for time.Since(t0) < 20*time.Millisecond {
+		fn()
+		reps++
+	}
+	return float64(rows*reps) / time.Since(t0).Seconds()
+}

@@ -15,8 +15,10 @@ package hashtable
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/rng"
 )
 
@@ -115,26 +117,31 @@ func (c Config) validate() error {
 // Table is a set of L LSH tables over uint32 ids. Insertion is safe for
 // concurrent use only when distinct goroutines operate on distinct table
 // indices (see InsertBatch); queries are safe concurrently with each other.
+//
+// Storage is flat: bucket i of table ti is index bi = ti*numBuckets+i,
+// its occupancy is blen[bi], its reservoir counter seen[bi], and its ids
+// occupy the fixed run ids[bi*BucketSize:(bi+1)*BucketSize]. All three
+// arrays carve from one arena slab sized for the whole table set, so a
+// rebuild costs one slab allocation and probes walk densely packed
+// counters instead of 24-byte bucket headers.
 type Table struct {
 	cfg        Config
 	numBuckets int
 	packed     bool // direct code concatenation vs mixed addressing
 
-	// buckets is laid out [L][numBuckets]; each bucket owns a fixed
-	// BucketSize id slab within ids.
-	buckets []bucket
-	ids     []uint32
+	blen []int32  // occupied entries per bucket, <= BucketSize
+	seen []uint32 // insertions ever attempted (reservoir counter / FIFO cursor)
+	ids  []uint32 // [L*numBuckets*BucketSize], bucket bi at bi*BucketSize
+
+	// ar owns the slab behind blen/seen/ids. A finalizing cleanup releases
+	// it (unmapping mmap-backend slabs) once the Table is unreachable, so
+	// the per-generation rebuild churn does not grow the address space.
+	ar *arena.Arena
 
 	// insertRNG[t] supplies reservoir randomness for table t, keeping
 	// per-table insertion deterministic and lock-free under the
 	// one-goroutine-per-table parallel build.
 	insertRNG []*rng.RNG
-}
-
-type bucket struct {
-	len   int32  // occupied entries, <= BucketSize
-	seen  uint32 // total insertions ever attempted (reservoir counter / FIFO cursor)
-	start int    // offset into Table.ids
 }
 
 // New creates an empty table set at generation zero.
@@ -161,15 +168,18 @@ func newTable(cfg Config, gen uint64) *Table {
 		packed:     cfg.K*cfg.CodeBits <= cfg.RangePow,
 	}
 	total := cfg.L * t.numBuckets
-	t.buckets = make([]bucket, total)
-	t.ids = make([]uint32, total*cfg.BucketSize)
-	for i := range t.buckets {
-		t.buckets[i].start = i * cfg.BucketSize
-	}
+	// Size the arena to the exact table-set footprint (+64 words absorb
+	// cache-line alignment padding) so blen, seen and ids all carve from
+	// a single slab.
+	t.ar = arena.New(total*(2+cfg.BucketSize) + 64)
+	t.blen = t.ar.AllocInt32(total)
+	t.seen = t.ar.AllocUint32(total)
+	t.ids = t.ar.AllocUint32(total * cfg.BucketSize)
 	t.insertRNG = make([]*rng.RNG, cfg.L)
 	for i := range t.insertRNG {
 		t.insertRNG[i] = rng.NewStream(cfg.Seed^gen*genSeedMix, uint64(i)+0x7ab1e)
 	}
+	runtime.AddCleanup(t, func(a *arena.Arena) { a.Release() }, t.ar)
 	return t
 }
 
@@ -226,12 +236,13 @@ func (t *Table) Insert(id uint32, codes []uint32) {
 // InsertInto adds id to table ti only. Distinct goroutines may call
 // InsertInto concurrently for distinct ti.
 func (t *Table) InsertInto(ti int, id uint32, codes []uint32) {
-	b := &t.buckets[ti*t.numBuckets+int(t.Address(ti, codes))]
-	b.seen++
-	cap32 := int32(t.cfg.BucketSize)
-	if b.len < cap32 {
-		t.ids[b.start+int(b.len)] = id
-		b.len++
+	bi := ti*t.numBuckets + int(t.Address(ti, codes))
+	seen := t.seen[bi] + 1
+	t.seen[bi] = seen
+	start := bi * t.cfg.BucketSize
+	if n := int(t.blen[bi]); n < t.cfg.BucketSize {
+		t.ids[start+n] = id
+		t.blen[bi]++
 		return
 	}
 	switch t.cfg.Policy {
@@ -239,29 +250,32 @@ func (t *Table) InsertInto(ti int, id uint32, codes []uint32) {
 		// Vitter algorithm R: replace a uniform slot with probability
 		// BucketSize/seen, keeping the bucket a uniform sample of all
 		// insertions.
-		r := t.insertRNG[ti].Intn(int(b.seen))
+		r := t.insertRNG[ti].Intn(int(seen))
 		if r < t.cfg.BucketSize {
-			t.ids[b.start+r] = id
+			t.ids[start+r] = id
 		}
 	case PolicyFIFO:
-		slot := int(b.seen-1) % t.cfg.BucketSize
-		t.ids[b.start+slot] = id
+		slot := int(seen-1) % t.cfg.BucketSize
+		t.ids[start+slot] = id
 	}
 }
 
 // Bucket returns the ids stored in the bucket of table ti addressed by the
 // code vector. The returned slice aliases internal storage; callers must
-// not mutate or retain it across inserts.
+// not mutate it, nor retain it across inserts or past the Table's own
+// lifetime (a dropped Table may release its slab).
 func (t *Table) Bucket(ti int, codes []uint32) []uint32 {
-	b := &t.buckets[ti*t.numBuckets+int(t.Address(ti, codes))]
-	return t.ids[b.start : b.start+int(b.len)]
+	bi := ti*t.numBuckets + int(t.Address(ti, codes))
+	start := bi * t.cfg.BucketSize
+	return t.ids[start : start+int(t.blen[bi])]
 }
 
 // BucketAt returns the ids stored in bucket bi of table ti, for
 // diagnostics and table comparison. The slice aliases internal storage.
 func (t *Table) BucketAt(ti, bi int) []uint32 {
-	b := &t.buckets[ti*t.numBuckets+bi]
-	return t.ids[b.start : b.start+int(b.len)]
+	i := ti*t.numBuckets + bi
+	start := i * t.cfg.BucketSize
+	return t.ids[start : start+int(t.blen[i])]
 }
 
 // Equal reports whether two table sets share the same configuration and
@@ -272,13 +286,15 @@ func (t *Table) Equal(o *Table) bool {
 	if o == nil || t.cfg != o.cfg {
 		return false
 	}
-	for i := range t.buckets {
-		a, b := &t.buckets[i], &o.buckets[i]
-		if a.len != b.len || a.seen != b.seen {
+	bs := t.cfg.BucketSize
+	for i := range t.blen {
+		n := t.blen[i]
+		if n != o.blen[i] || t.seen[i] != o.seen[i] {
 			return false
 		}
-		for k := 0; k < int(a.len); k++ {
-			if t.ids[a.start+k] != o.ids[b.start+k] {
+		start := i * bs
+		for k := 0; k < int(n); k++ {
+			if t.ids[start+k] != o.ids[start+k] {
 				return false
 			}
 		}
@@ -320,10 +336,8 @@ func (h *Handle) Swap(t *Table) *Table { return h.p.Swap(t) }
 // Shadow sets whose decisions are deliberately reproducible per
 // generation.
 func (t *Table) Clear() {
-	for i := range t.buckets {
-		t.buckets[i].len = 0
-		t.buckets[i].seen = 0
-	}
+	clear(t.blen)
+	clear(t.seen)
 }
 
 // Stats summarizes table occupancy, for diagnostics and tests.
@@ -340,14 +354,13 @@ type Stats struct {
 // Stats computes occupancy statistics.
 func (t *Table) Stats() Stats {
 	s := Stats{Tables: t.cfg.L, BucketsPer: t.numBuckets}
-	for i := range t.buckets {
-		b := &t.buckets[i]
-		s.TotalStored += int(b.len)
-		s.TotalSeen += int(b.seen)
-		if b.len > 0 {
+	for i, n := range t.blen {
+		s.TotalStored += int(n)
+		s.TotalSeen += int(t.seen[i])
+		if n > 0 {
 			s.NonEmpty++
-			if int(b.len) > s.MaxBucketLen {
-				s.MaxBucketLen = int(b.len)
+			if int(n) > s.MaxBucketLen {
+				s.MaxBucketLen = int(n)
 			}
 		}
 	}

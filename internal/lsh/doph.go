@@ -64,9 +64,26 @@ func (d *doph) HashDense(x []float32, out []uint32) {
 	if len(x) != d.dim {
 		panic("lsh: doph dense input dimension mismatch")
 	}
-	// Binarize over the non-zero support only so the dense and sparse
-	// paths agree on the same input.
 	sc := d.scratch.Get().(*dophScratch)
+	d.hashDenseInto(sc, x, out)
+	d.scratch.Put(sc)
+}
+
+// HashDenseRows batch-hashes rows contiguous dense vectors, reusing one
+// scratch (non-zero gather + bin state) across the whole block. Rows hash
+// independently, so codes match HashDense bitwise.
+func (d *doph) HashDenseRows(block []float32, rows int, out []uint32) {
+	checkRowsArgs("doph", d.dim, d.numFuncs, block, rows, out)
+	sc := d.scratch.Get().(*dophScratch)
+	for r := 0; r < rows; r++ {
+		d.hashDenseInto(sc, block[r*d.dim:(r+1)*d.dim], out[r*d.numFuncs:(r+1)*d.numFuncs])
+	}
+	d.scratch.Put(sc)
+}
+
+// hashDenseInto binarizes one dense row over its non-zero support and
+// hashes the resulting set, all within the caller's scratch.
+func (d *doph) hashDenseInto(sc *dophScratch, x []float32, out []uint32) {
 	idx := sc.idx[:0]
 	val := sc.val[:0]
 	for i, v := range x {
@@ -77,27 +94,27 @@ func (d *doph) HashDense(x []float32, out []uint32) {
 	}
 	sc.idx, sc.val = idx, val
 	if len(idx) <= d.topK {
-		d.hashSet(idx, out)
+		d.hashSet(sc, idx, out)
 	} else {
-		d.hashSet(sparse.TopKSparse(idx, val, d.topK), out)
+		d.hashSet(sc, sparse.TopKSparse(idx, val, d.topK), out)
 	}
-	d.scratch.Put(sc)
 }
 
 func (d *doph) HashSparse(x sparse.Vector, out []uint32) {
 	if x.Dim != d.dim {
 		panic("lsh: doph sparse input dimension mismatch")
 	}
+	sc := d.scratch.Get().(*dophScratch)
 	if x.NNZ() <= d.topK {
-		d.hashSet(x.Idx, out)
-		return
+		d.hashSet(sc, x.Idx, out)
+	} else {
+		d.hashSet(sc, sparse.TopKSparse(x.Idx, x.Val, d.topK), out)
 	}
-	d.hashSet(sparse.TopKSparse(x.Idx, x.Val, d.topK), out)
+	d.scratch.Put(sc)
 }
 
 // hashSet computes the DOPH codes of a binary set given by element ids.
-func (d *doph) hashSet(set []int32, out []uint32) {
-	sc := d.scratch.Get().(*dophScratch)
+func (d *doph) hashSet(sc *dophScratch, set []int32, out []uint32) {
 	for i := range sc.filled {
 		sc.filled[i] = false
 	}
@@ -118,5 +135,4 @@ func (d *doph) hashSet(set []int32, out []uint32) {
 		}
 		out[f] = densify(d.seed, f, d.numFuncs, sc.filled, sc.code)
 	}
-	d.scratch.Put(sc)
 }

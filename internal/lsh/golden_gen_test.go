@@ -1,0 +1,49 @@
+package lsh
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TestPrintGoldenCodes emits the current families' code vectors for the
+// fixed inputs used by TestGoldenCodes, as pasteable Go literals. Run
+// manually with LSH_PRINT_GOLDEN=1; it is a no-op otherwise.
+func TestPrintGoldenCodes(t *testing.T) {
+	if os.Getenv("LSH_PRINT_GOLDEN") == "" {
+		t.Skip("set LSH_PRINT_GOLDEN=1 to regenerate golden vectors")
+	}
+	var b strings.Builder
+	for _, gc := range goldenConfigs {
+		fam, err := New(gc.kind, gc.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf := fam.NumFuncs()
+		for vi := 0; vi < goldenNumVectors; vi++ {
+			dense := goldenDense(gc.params.Dim, vi)
+			out := make([]uint32, nf)
+			fam.HashDense(dense, out)
+			b.WriteString(fmt.Sprintf("%q: %s,\n", goldenKey(gc, vi, "dense"), goldenLit(out)))
+
+			sv := goldenSparse(gc.params.Dim, vi)
+			outS := make([]uint32, nf)
+			fam.HashSparse(sv, outS)
+			b.WriteString(fmt.Sprintf("%q: %s,\n", goldenKey(gc, vi, "sparse"), goldenLit(outS)))
+		}
+	}
+	t.Logf("golden map entries:\n%s", b.String())
+}
+
+func goldenLit(codes []uint32) string {
+	parts := make([]string, len(codes))
+	for i, c := range codes {
+		parts[i] = fmt.Sprintf("%#x", c)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+var _ = sparse.Vector{}

@@ -31,6 +31,13 @@ type Family interface {
 	// HashDense writes the NumFuncs codes for the dense vector x into out.
 	// len(x) must equal Dim and len(out) must be at least NumFuncs.
 	HashDense(x []float32, out []uint32)
+	// HashDenseRows hashes a block of rows dense vectors stored back to
+	// back in block (row r at block[r*Dim():(r+1)*Dim()]), writing row r's
+	// codes at out[r*NumFuncs():(r+1)*NumFuncs()]. The result is bitwise
+	// identical to calling HashDense once per row; implementations batch
+	// function-major so the flat hash-state slabs stream over the whole
+	// block. This is the rebuild-side entry point.
+	HashDenseRows(block []float32, rows int, out []uint32)
 	// HashSparse writes the NumFuncs codes for the sparse vector x into
 	// out. x.Dim must equal Dim and len(out) must be at least NumFuncs.
 	HashSparse(x sparse.Vector, out []uint32)
@@ -148,6 +155,19 @@ func New(kind Kind, p Params) (Family, error) {
 		return newDOPH(p)
 	default:
 		return nil, fmt.Errorf("lsh: unknown kind %v", kind)
+	}
+}
+
+// checkRowsArgs validates a HashDenseRows call's shapes for family name.
+func checkRowsArgs(name string, dim, nf int, block []float32, rows int, out []uint32) {
+	if rows < 0 {
+		panic("lsh: " + name + " negative row count")
+	}
+	if len(block) < rows*dim {
+		panic("lsh: " + name + " row block shorter than rows*Dim")
+	}
+	if len(out) < rows*nf {
+		panic("lsh: " + name + " code output shorter than rows*NumFuncs")
 	}
 }
 

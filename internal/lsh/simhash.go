@@ -1,6 +1,9 @@
 package lsh
 
 import (
+	"math"
+	"sync"
+
 	"repro/internal/rng"
 	"repro/internal/sparse"
 )
@@ -11,25 +14,37 @@ import (
 // bit of the projection. Using only additions/subtractions (no multiplies)
 // and a sparse support reproduces the paper's two Simhash optimizations.
 //
+// The support/sign state lives in flat slabs rather than per-function
+// slices: every function has the same support length, so function f's
+// coordinates occupy supIdx[f*supLen:(f+1)*supLen] and its signs are
+// bit-packed into word-aligned runs of negW. The dense kernels walk these
+// slabs linearly; the sparse path walks the CSR transpose (coordOff /
+// coordFn) of the same state.
+//
 // The collision probability of two vectors x, y under one function is
 // 1 - angle(x,y)/pi, monotone in cosine similarity.
 type simhash struct {
 	dim      int
 	numFuncs int
-	// support[f] lists the coordinates in function f's random support,
-	// ascending; signPos[f] marks which of them carry +1.
-	support [][]int32
-	signPos [][]bool
-	// coordFns is the inverted layout used by HashSparse: for each input
-	// coordinate, the (function, sign) pairs whose support contains it.
-	// With nnz non-zeros a sparse hash costs O(nnz * numFuncs * density)
-	// lookups, matching the paper's cost analysis.
-	coordFns [][]funcSign
-}
-
-type funcSign struct {
-	fn  int32
-	neg bool
+	supLen   int
+	// supIdx is the flat support slab: function f's support coordinates,
+	// ascending, at supIdx[f*supLen:(f+1)*supLen].
+	supIdx []int32
+	// negW bit-packs the projection signs, one bit per support entry,
+	// word-aligned per function: bit j of negW[f*signWords:] is set when
+	// entry j subtracts its coordinate (-1 weight), clear when it adds.
+	negW      []uint64
+	signWords int
+	// coordOff/coordFn are the CSR transpose used by the sparse path: for
+	// input coordinate i, coordFn[coordOff[i]:coordOff[i+1]] packs
+	// (function<<1)|neg entries in ascending function order. With nnz
+	// non-zeros a sparse hash costs O(nnz * numFuncs * density) lookups,
+	// matching the paper's cost analysis.
+	coordOff []int32
+	coordFn  []int32
+	// accPool recycles the query-side projection accumulator of
+	// HashSparse so the forward probe allocates nothing.
+	accPool sync.Pool
 }
 
 func newSimhash(p Params) (*simhash, error) {
@@ -42,25 +57,52 @@ func newSimhash(p Params) (*simhash, error) {
 		supLen = p.Dim
 	}
 	s := &simhash{
-		dim:      p.Dim,
-		numFuncs: nf,
-		support:  make([][]int32, nf),
-		signPos:  make([][]bool, nf),
-		coordFns: make([][]funcSign, p.Dim),
+		dim:       p.Dim,
+		numFuncs:  nf,
+		supLen:    supLen,
+		supIdx:    make([]int32, nf*supLen),
+		signWords: (supLen + 63) / 64,
 	}
+	s.negW = make([]uint64, nf*s.signWords)
 	r := rng.NewStream(p.Seed, 0x51)
 	for f := 0; f < nf; f++ {
 		idx := r.SampleK(p.Dim, supLen)
-		sup := make([]int32, supLen)
-		sgn := make([]bool, supLen)
+		sup := s.supIdx[f*supLen : (f+1)*supLen]
+		w := s.negW[f*s.signWords:]
 		for j, i := range idx {
 			sup[j] = int32(i)
-			pos := r.Bernoulli(0.5)
-			sgn[j] = pos
-			s.coordFns[i] = append(s.coordFns[i], funcSign{fn: int32(f), neg: !pos})
+			if !r.Bernoulli(0.5) {
+				w[uint(j)>>6] |= 1 << (uint(j) & 63)
+			}
 		}
-		s.support[f] = sup
-		s.signPos[f] = sgn
+	}
+	// CSR transpose of the slabs, filled in (function, entry) order so the
+	// per-coordinate entry order matches the construction order above.
+	s.coordOff = make([]int32, p.Dim+1)
+	for _, i := range s.supIdx {
+		s.coordOff[i+1]++
+	}
+	for i := 0; i < p.Dim; i++ {
+		s.coordOff[i+1] += s.coordOff[i]
+	}
+	s.coordFn = make([]int32, nf*supLen)
+	next := make([]int32, p.Dim)
+	copy(next, s.coordOff[:p.Dim])
+	for f := 0; f < nf; f++ {
+		w := s.negW[f*s.signWords:]
+		for j := 0; j < supLen; j++ {
+			i := s.supIdx[f*supLen+j]
+			e := int32(f) << 1
+			if w[uint(j)>>6]>>(uint(j)&63)&1 != 0 {
+				e |= 1
+			}
+			s.coordFn[next[i]] = e
+			next[i]++
+		}
+	}
+	s.accPool.New = func() any {
+		acc := make([]float32, nf)
+		return &acc
 	}
 	return s, nil
 }
@@ -81,17 +123,29 @@ func (s *simhash) HashDense(x []float32, out []uint32) {
 		panic("lsh: simhash dense input dimension mismatch")
 	}
 	for f := 0; f < s.numFuncs; f++ {
-		var acc float32
-		sup := s.support[f]
-		sgn := s.signPos[f]
-		for j, i := range sup {
-			if sgn[j] {
-				acc += x[i]
-			} else {
-				acc -= x[i]
+		out[f] = signBit(s.project(x, f))
+	}
+}
+
+// HashDenseRows batch-hashes rows contiguous dense vectors function-major:
+// each function's support and sign words are loaded once and streamed over
+// the whole row block. Per-row accumulation order matches HashDense, so
+// the codes are bitwise identical to hashing row by row.
+func (s *simhash) HashDenseRows(block []float32, rows int, out []uint32) {
+	checkRowsArgs("simhash", s.dim, s.numFuncs, block, rows, out)
+	nf, dim, sl := s.numFuncs, s.dim, s.supLen
+	for f := 0; f < nf; f++ {
+		sup := s.supIdx[f*sl : (f+1)*sl]
+		w := s.negW[f*s.signWords:]
+		for r := 0; r < rows; r++ {
+			x := block[r*dim : (r+1)*dim : (r+1)*dim]
+			var acc float32
+			for j, i := range sup {
+				neg := uint32(w[uint(j)>>6]>>(uint(j)&63)&1) << 31
+				acc += math.Float32frombits(math.Float32bits(x[i]) ^ neg)
 			}
+			out[r*nf+f] = signBit(acc)
 		}
-		out[f] = signBit(acc)
 	}
 }
 
@@ -99,20 +153,23 @@ func (s *simhash) HashSparse(x sparse.Vector, out []uint32) {
 	if x.Dim != s.dim {
 		panic("lsh: simhash sparse input dimension mismatch")
 	}
-	acc := make([]float32, s.numFuncs)
+	ap := s.accPool.Get().(*[]float32)
+	acc := (*ap)[:s.numFuncs]
+	clear(acc)
 	for j, i := range x.Idx {
 		v := x.Val[j]
-		for _, fs := range s.coordFns[i] {
-			if fs.neg {
-				acc[fs.fn] -= v
+		for _, e := range s.coordFn[s.coordOff[i]:s.coordOff[i+1]] {
+			if e&1 != 0 {
+				acc[e>>1] -= v
 			} else {
-				acc[fs.fn] += v
+				acc[e>>1] += v
 			}
 		}
 	}
 	for f, a := range acc {
 		out[f] = signBit(a)
 	}
+	s.accPool.Put(ap)
 }
 
 // signBit maps a projection value to the hash code: 1 for non-negative,
@@ -125,29 +182,33 @@ func signBit(a float32) uint32 {
 	return 0
 }
 
+// project accumulates the signed projection of x under function f, walking
+// the support slab linearly. Subtraction is a sign-bit flip plus add,
+// which the IEEE rules make bit-identical to acc -= x[i].
+func (s *simhash) project(x []float32, f int) float32 {
+	sup := s.supIdx[f*s.supLen : (f+1)*s.supLen]
+	w := s.negW[f*s.signWords:]
+	var acc float32
+	for j, i := range sup {
+		neg := uint32(w[uint(j)>>6]>>(uint(j)&63)&1) << 31
+		acc += math.Float32frombits(math.Float32bits(x[i]) ^ neg)
+	}
+	return acc
+}
+
 // Project returns the raw projection value of dense vector x under hash
 // function f. It exposes the quantity the incremental re-hash trick (§4.2
 // item 3) memoizes: when x changes in d' of d coordinates the new
 // projection is recoverable with O(d') additions via ProjectDelta.
 func (s *simhash) Project(x []float32, f int) float32 {
-	var acc float32
-	sup := s.support[f]
-	sgn := s.signPos[f]
-	for j, i := range sup {
-		if sgn[j] {
-			acc += x[i]
-		} else {
-			acc -= x[i]
-		}
-	}
-	return acc
+	return s.project(x, f)
 }
 
 // ProjectAll writes the raw projection values of dense vector x under all
 // hash functions into proj (len >= NumFuncs). Codes are signBit(proj[f]).
 func (s *simhash) ProjectAll(x []float32, proj []float32) {
 	for f := 0; f < s.numFuncs; f++ {
-		proj[f] = s.Project(x, f)
+		proj[f] = s.project(x, f)
 	}
 }
 
@@ -159,11 +220,11 @@ func (s *simhash) ProjectAll(x []float32, proj []float32) {
 func (s *simhash) ProjectDelta(proj []float32, deltaIdx []int32, deltaVal []float32) {
 	for j, i := range deltaIdx {
 		v := deltaVal[j]
-		for _, fs := range s.coordFns[i] {
-			if fs.neg {
-				proj[fs.fn] -= v
+		for _, e := range s.coordFn[s.coordOff[i]:s.coordOff[i+1]] {
+			if e&1 != 0 {
+				proj[e>>1] -= v
 			} else {
-				proj[fs.fn] += v
+				proj[e>>1] += v
 			}
 		}
 	}

@@ -14,15 +14,20 @@ import (
 // every bin supplies one hash function. Function f is bin f%binsPerPerm of
 // permutation f/binsPerPerm; its code is the within-bin position (in
 // [0, m)) of the maximum input coordinate mapped into the bin.
+//
+// Both directions are stored as flat slabs (permutation p at
+// [p*dim:(p+1)*dim]) so batched hashing streams one permutation across a
+// whole row block without pointer chasing.
 type permSet struct {
 	dim         int
 	numFuncs    int
 	binSize     int
 	binsPerPerm int
-	// perm[p][pos] is the coordinate at permuted position pos.
-	perm [][]int32
-	// invPerm[p][coord] is the permuted position of coordinate coord.
-	invPerm [][]int32
+	numPerms    int
+	// perm[p*dim+pos] is the coordinate at permuted position pos.
+	perm []int32
+	// invPerm[p*dim+coord] is the permuted position of coordinate coord.
+	invPerm []int32
 }
 
 func newPermSet(p Params) *permSet {
@@ -41,13 +46,14 @@ func newPermSet(p Params) *permSet {
 		numFuncs:    nf,
 		binSize:     m,
 		binsPerPerm: bpp,
-		perm:        make([][]int32, numPerms),
-		invPerm:     make([][]int32, numPerms),
+		numPerms:    numPerms,
+		perm:        make([]int32, numPerms*p.Dim),
+		invPerm:     make([]int32, numPerms*p.Dim),
 	}
 	r := rng.NewStream(p.Seed, 0x57a)
-	for pi := range ps.perm {
-		fwd := make([]int32, p.Dim)
-		inv := make([]int32, p.Dim)
+	for pi := 0; pi < numPerms; pi++ {
+		fwd := ps.perm[pi*p.Dim : (pi+1)*p.Dim]
+		inv := ps.invPerm[pi*p.Dim : (pi+1)*p.Dim]
 		for i := range fwd {
 			fwd[i] = int32(i)
 		}
@@ -55,10 +61,15 @@ func newPermSet(p Params) *permSet {
 		for pos, coord := range fwd {
 			inv[coord] = int32(pos)
 		}
-		ps.perm[pi] = fwd
-		ps.invPerm[pi] = inv
 	}
 	return ps
+}
+
+// bin returns the binSize permuted coordinates feeding function f.
+func (ps *permSet) bin(f int) []int32 {
+	p := f / ps.binsPerPerm
+	base := p*ps.dim + (f%ps.binsPerPerm)*ps.binSize
+	return ps.perm[base : base+ps.binSize : base+ps.binSize]
 }
 
 // codeBits returns the bits needed to express codes in [0, binSize).
@@ -101,18 +112,36 @@ func (w *wta) HashDense(x []float32, out []uint32) {
 	}
 	ps := w.ps
 	for f := 0; f < ps.numFuncs; f++ {
-		p := f / ps.binsPerPerm
-		base := (f % ps.binsPerPerm) * ps.binSize
-		perm := ps.perm[p]
-		best := x[perm[base]]
-		bestJ := 0
-		for j := 1; j < ps.binSize; j++ {
-			if v := x[perm[base+j]]; v > best {
-				best, bestJ = v, j
-			}
-		}
-		out[f] = uint32(bestJ)
+		out[f] = wtaCode(x, ps.bin(f))
 	}
+}
+
+// HashDenseRows batch-hashes rows contiguous dense vectors function-major:
+// each bin's permuted coordinates load once and scan the whole row block.
+// The per-row argmax comparisons match HashDense exactly.
+func (w *wta) HashDenseRows(block []float32, rows int, out []uint32) {
+	ps := w.ps
+	checkRowsArgs("wta", ps.dim, ps.numFuncs, block, rows, out)
+	for f := 0; f < ps.numFuncs; f++ {
+		bin := ps.bin(f)
+		for r := 0; r < rows; r++ {
+			x := block[r*ps.dim : (r+1)*ps.dim : (r+1)*ps.dim]
+			out[r*ps.numFuncs+f] = wtaCode(x, bin)
+		}
+	}
+}
+
+// wtaCode is the argmax of x over the bin's coordinates; ties keep the
+// lower position.
+func wtaCode(x []float32, bin []int32) uint32 {
+	best := x[bin[0]]
+	bestJ := 0
+	for j := 1; j < len(bin); j++ {
+		if v := x[bin[j]]; v > best {
+			best, bestJ = v, j
+		}
+	}
+	return uint32(bestJ)
 }
 
 func (w *wta) HashSparse(x sparse.Vector, out []uint32) {
@@ -173,6 +202,24 @@ func (d *dwta) HashDense(x []float32, out []uint32) {
 		panic("lsh: dwta dense input dimension mismatch")
 	}
 	sc := d.scratch.Get().(*dwtaScratch)
+	d.hashDenseInto(sc, x, out)
+	d.scratch.Put(sc)
+}
+
+// HashDenseRows batch-hashes rows contiguous dense vectors, holding one
+// scratch across the whole block instead of a pool round trip per row.
+// Rows hash independently, so codes match HashDense bitwise.
+func (d *dwta) HashDenseRows(block []float32, rows int, out []uint32) {
+	ps := d.ps
+	checkRowsArgs("dwta", ps.dim, ps.numFuncs, block, rows, out)
+	sc := d.scratch.Get().(*dwtaScratch)
+	for r := 0; r < rows; r++ {
+		d.hashDenseInto(sc, block[r*ps.dim:(r+1)*ps.dim], out[r*ps.numFuncs:(r+1)*ps.numFuncs])
+	}
+	d.scratch.Put(sc)
+}
+
+func (d *dwta) hashDenseInto(sc *dwtaScratch, x []float32, out []uint32) {
 	d.reset(sc)
 	for i, v := range x {
 		if v != 0 {
@@ -180,7 +227,6 @@ func (d *dwta) HashDense(x []float32, out []uint32) {
 		}
 	}
 	d.finish(sc, out)
-	d.scratch.Put(sc)
 }
 
 func (d *dwta) HashSparse(x sparse.Vector, out []uint32) {
@@ -209,8 +255,8 @@ func (d *dwta) reset(sc *dwtaScratch) {
 // regardless of coordinate visit order.
 func (d *dwta) accumulate(sc *dwtaScratch, coord int32, v float32) {
 	ps := d.ps
-	for p := range ps.invPerm {
-		pos := int(ps.invPerm[p][coord])
+	for p := 0; p < ps.numPerms; p++ {
+		pos := int(ps.invPerm[p*ps.dim+int(coord)])
 		b := pos / ps.binSize
 		if b >= ps.binsPerPerm {
 			continue // coordinate fell in the unused tail of this permutation
